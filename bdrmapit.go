@@ -1,0 +1,387 @@
+// Package bdrmapit infers the Autonomous System that operates each
+// router observed in a collection of traceroutes, and from those
+// annotations identifies interdomain links — a Go implementation of
+// bdrmapIT (Marder et al., "Pushing the Boundaries with bdrmapIT:
+// Mapping Router Ownership at Internet Scale", IMC 2018).
+//
+// The package consumes the same inputs as the published tool: archived
+// traceroutes, BGP RIB dumps, RIR extended delegation files, IXP prefix
+// directories, AS relationship files (CAIDA serial-1), and alias
+// resolution node files (ITDK format). A typical run:
+//
+//	src := bdrmapit.Sources{
+//	    TraceroutePaths:     []string{"traces.jsonl"},
+//	    BGPRIBPaths:         []string{"rib.txt"},
+//	    RIRDelegationPaths:  []string{"delegated-extended.txt"},
+//	    IXPPrefixListPaths:  []string{"ixp-prefixes.txt"},
+//	    ASRelationshipPaths: []string{"as-rel.txt"},
+//	    AliasNodePaths:      []string{"nodes.txt"},
+//	}
+//	res, err := bdrmapit.Run(src, bdrmapit.Options{})
+//	...
+//	for _, l := range res.InterdomainLinks() { ... }
+//
+// When no relationship file is given, relationships are inferred from
+// the RIB's AS paths. When no alias file is given, each interface is
+// treated as its own router (the paper shows accuracy is nearly
+// unchanged, §7.4).
+package bdrmapit
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/asn"
+	"repro/internal/asrel"
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/ip2as"
+	"repro/internal/itdk"
+	"repro/internal/ixp"
+	"repro/internal/mrt"
+	"repro/internal/pfx2as"
+	"repro/internal/rir"
+	"repro/internal/traceroute"
+)
+
+// Sources names the input files of a run. Traceroute files may be
+// JSON-lines (.jsonl/.json) or the compact binary form (.bin); all
+// other formats are documented in their package of origin.
+type Sources struct {
+	// TraceroutePaths are the traceroute archives (required).
+	TraceroutePaths []string
+	// BGPRIBPaths are RIB dumps: "prefix|as path" text or MRT
+	// TABLE_DUMP_V2 (.mrt).
+	BGPRIBPaths []string
+	// Prefix2ASPaths are CAIDA routeviews-prefix2as files — a
+	// precomputed origin mapping usable instead of (or alongside) raw
+	// RIBs. They carry no AS paths, so supply ASRelationshipPaths when
+	// using them alone.
+	Prefix2ASPaths []string
+	// RIRDelegationPaths are RIR extended delegation files.
+	RIRDelegationPaths []string
+	// IXPPrefixListPaths are IXP peering-LAN prefix lists (plain list,
+	// .json, or .csv).
+	IXPPrefixListPaths []string
+	// ASRelationshipPaths are CAIDA serial-1 relationship files. When
+	// empty, relationships are inferred from the RIB AS paths.
+	ASRelationshipPaths []string
+	// AliasNodePaths are ITDK-format alias node files.
+	AliasNodePaths []string
+}
+
+// Options controls the inference; the zero value enables every
+// heuristic with the default iteration cap.
+type Options struct {
+	// MaxIterations caps the refinement loop (default 50).
+	MaxIterations int
+	// DisableLastHopDestinations ablates the §5.2 last-hop heuristic.
+	DisableLastHopDestinations bool
+	// DisableThirdParty ablates the §6.1.1 third-party address test.
+	DisableThirdParty bool
+	// DisableReallocated ablates the §6.1.2 reallocated-prefix fix.
+	DisableReallocated bool
+	// DisableExceptions ablates the §6.1.3 voting exceptions.
+	DisableExceptions bool
+	// DisableHiddenAS ablates the §6.1.5 hidden-AS check.
+	DisableHiddenAS bool
+	// DisableDestTieBreak ablates the destination-coverage vote
+	// tie-break (an extension beyond the paper; see DESIGN.md).
+	DisableDestTieBreak bool
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{
+		MaxIterations:       o.MaxIterations,
+		DisableLastHopDest:  o.DisableLastHopDestinations,
+		DisableThirdParty:   o.DisableThirdParty,
+		DisableRealloc:      o.DisableReallocated,
+		DisableExceptions:   o.DisableExceptions,
+		DisableHiddenAS:     o.DisableHiddenAS,
+		DisableDestTieBreak: o.DisableDestTieBreak,
+	}
+}
+
+// Link is one inferred interdomain link: the router operated by NearAS
+// has a connection to FarAddr, on a router operated by FarAS.
+type Link struct {
+	NearAS, FarAS uint32
+	// NearAddrs are the near router's observed interface addresses.
+	NearAddrs []netip.Addr
+	// FarAddr is the observed far-side interface.
+	FarAddr netip.Addr
+	// Confidence is the traceroute-derived link class: "N" (nexthop),
+	// "E" (echo), or "M" (multihop), in decreasing confidence order.
+	Confidence string
+}
+
+// Result holds the annotations of a completed run.
+type Result struct {
+	res *core.Result
+	// Iterations is the number of refinement iterations executed.
+	Iterations int
+	// Converged reports whether the refinement loop reached a repeated
+	// state before the iteration cap.
+	Converged bool
+}
+
+// RouterOperator returns the AS inferred to operate the router that
+// uses addr. ok is false when the address was not observed or no
+// operator could be inferred.
+func (r *Result) RouterOperator(addr netip.Addr) (as uint32, ok bool) {
+	a := r.res.OperatorOf(addr)
+	return uint32(a), a != asn.None
+}
+
+// ConnectedAS returns the AS inferred to be on the far side of addr's
+// link.
+func (r *Result) ConnectedAS(addr netip.Addr) (as uint32, ok bool) {
+	a := r.res.ConnectedAS(addr)
+	return uint32(a), a != asn.None
+}
+
+// InterdomainLinks enumerates the inferred interdomain links, ordered
+// by (NearAS, FarAS, FarAddr).
+func (r *Result) InterdomainLinks() []Link {
+	var out []Link
+	for _, l := range r.res.InterdomainLinks() {
+		addrs := make([]netip.Addr, 0, len(l.NearRouter.Interfaces))
+		for _, i := range l.NearRouter.Interfaces {
+			addrs = append(addrs, i.Addr)
+		}
+		out = append(out, Link{
+			NearAS:     uint32(l.NearAS),
+			FarAS:      uint32(l.FarAS),
+			NearAddrs:  addrs,
+			FarAddr:    l.FarAddr,
+			Confidence: l.Label.String(),
+		})
+	}
+	return out
+}
+
+// ASLinks returns the distinct inferred AS-level adjacencies as
+// unordered pairs with the smaller AS first.
+func (r *Result) ASLinks() [][2]uint32 {
+	pairs := r.res.ASLinks()
+	out := make([][2]uint32, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]uint32{uint32(p[0]), uint32(p[1])}
+	}
+	return out
+}
+
+// Annotations writes every router annotation as "address router-AS
+// connected-AS" lines, the output format of the published tool.
+func (r *Result) Annotations(w io.Writer) error {
+	for _, rt := range r.res.Graph.Routers {
+		for _, i := range rt.Interfaces {
+			if _, err := fmt.Fprintf(w, "%s %d %d\n",
+				i.Addr, uint32(rt.Annotation), uint32(i.Annotation)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteITDK materializes the result in CAIDA ITDK form — the release
+// format bdrmapIT's annotations ship in — writing itdk.nodes,
+// itdk.nodes.as, and itdk.links into dir (created if needed).
+func (r *Result) WriteITDK(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bdrmapit: %w", err)
+	}
+	kit := itdk.FromResult(r.res)
+	outputs := []struct {
+		name string
+		fill func(io.Writer) error
+	}{
+		{"itdk.nodes", func(w io.Writer) error { return kit.WriteNodes(w) }},
+		{"itdk.nodes.as", func(w io.Writer) error { return kit.WriteNodesAS(w) }},
+		{"itdk.links", func(w io.Writer) error { return kit.WriteLinks(w) }},
+	}
+	for _, out := range outputs {
+		f, err := os.Create(filepath.Join(dir, out.name))
+		if err != nil {
+			return fmt.Errorf("bdrmapit: %w", err)
+		}
+		if err := out.fill(f); err != nil {
+			f.Close()
+			return fmt.Errorf("bdrmapit: writing %s: %w", out.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("bdrmapit: %w", err)
+		}
+	}
+	return nil
+}
+
+// NumRouters returns the number of inferred routers in the graph.
+func (r *Result) NumRouters() int { return len(r.res.Graph.Routers) }
+
+// NumInterfaces returns the number of observed interfaces.
+func (r *Result) NumInterfaces() int { return len(r.res.Graph.Interfaces) }
+
+// Run loads every source file and executes the full three-phase
+// inference.
+func Run(src Sources, opts Options) (*Result, error) {
+	if len(src.TraceroutePaths) == 0 {
+		return nil, fmt.Errorf("bdrmapit: no traceroute inputs")
+	}
+	var traces []*traceroute.Trace
+	for _, p := range src.TraceroutePaths {
+		ts, err := readTraces(p)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, ts...)
+	}
+
+	var routes []bgp.Route
+	for _, p := range src.BGPRIBPaths {
+		reader := bgp.ReadRoutes
+		if strings.EqualFold(filepath.Ext(p), ".mrt") {
+			reader = mrt.Read
+		}
+		r, err := withFile(p, reader)
+		if err != nil {
+			return nil, fmt.Errorf("bdrmapit: rib %s: %w", p, err)
+		}
+		routes = append(routes, r...)
+	}
+	for _, p := range src.Prefix2ASPaths {
+		entries, err := withFile(p, pfx2as.Read)
+		if err != nil {
+			return nil, fmt.Errorf("bdrmapit: prefix2as %s: %w", p, err)
+		}
+		// Fold into the origin table as one-element synthetic routes
+		// (multi-origin entries become AS_SETs, preserving MOAS
+		// semantics).
+		for _, e := range entries {
+			var elem bgp.PathElem
+			if len(e.Origins) == 1 {
+				elem = bgp.PathElem{AS: e.Origins[0]}
+			} else {
+				elem = bgp.PathElem{Set: e.Origins}
+			}
+			routes = append(routes, bgp.Route{Prefix: e.Prefix, Path: []bgp.PathElem{elem}})
+		}
+	}
+
+	dels := rir.New()
+	for _, p := range src.RIRDelegationPaths {
+		if err := withFileErr(p, func(f io.Reader) error { return rir.ReadInto(dels, f) }); err != nil {
+			return nil, fmt.Errorf("bdrmapit: rir %s: %w", p, err)
+		}
+	}
+
+	ixps := ixp.NewSet()
+	for _, p := range src.IXPPrefixListPaths {
+		if err := withFileErr(p, func(f io.Reader) error {
+			switch strings.ToLower(filepath.Ext(p)) {
+			case ".json":
+				return ixps.ReadJSON(f)
+			case ".csv":
+				return ixps.ReadCSV(f)
+			default:
+				return ixps.ReadList(f)
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("bdrmapit: ixp %s: %w", p, err)
+		}
+	}
+
+	var rels *asrel.Graph
+	if len(src.ASRelationshipPaths) > 0 {
+		rels = asrel.New()
+		for _, p := range src.ASRelationshipPaths {
+			g, err := withFile(p, asrel.Read)
+			if err != nil {
+				return nil, fmt.Errorf("bdrmapit: relationships %s: %w", p, err)
+			}
+			mergeRels(rels, g)
+		}
+	} else {
+		paths := make([][]asn.ASN, 0, len(routes))
+		for _, rt := range routes {
+			paths = append(paths, rt.ASPath())
+		}
+		rels = asrel.Infer(paths)
+	}
+
+	aliases := alias.NewSets()
+	for _, p := range src.AliasNodePaths {
+		s, err := withFile(p, alias.ReadNodes)
+		if err != nil {
+			return nil, fmt.Errorf("bdrmapit: aliases %s: %w", p, err)
+		}
+		s.Groups(func(addrs []netip.Addr) bool {
+			aliases.Add(addrs...)
+			return true
+		})
+	}
+
+	resolver := &ip2as.Resolver{IXPs: ixps, Table: bgp.NewTable(routes), Delegations: dels}
+	res := core.Infer(traces, resolver, aliases, rels, opts.internal())
+	return &Result{res: res, Iterations: res.Iterations, Converged: res.Converged}, nil
+}
+
+func readTraces(path string) ([]*traceroute.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bdrmapit: %w", err)
+	}
+	defer f.Close()
+	var out []*traceroute.Trace
+	collect := func(t *traceroute.Trace) error {
+		out = append(out, t)
+		return nil
+	}
+	if strings.EqualFold(filepath.Ext(path), ".bin") {
+		err = traceroute.ReadBinary(f, collect)
+	} else {
+		err = traceroute.ReadJSONL(f, collect)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bdrmapit: traces %s: %w", path, err)
+	}
+	return out, nil
+}
+
+func withFile[T any](path string, f func(io.Reader) (T, error)) (T, error) {
+	var zero T
+	fh, err := os.Open(path)
+	if err != nil {
+		return zero, err
+	}
+	defer fh.Close()
+	return f(fh)
+}
+
+func withFileErr(path string, f func(io.Reader) error) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return f(fh)
+}
+
+func mergeRels(dst, src *asrel.Graph) {
+	for _, a := range src.ASes() {
+		for c := range src.Customers(a) {
+			dst.AddP2C(a, c)
+		}
+		for p := range src.Peers(a) {
+			if a < p {
+				dst.AddP2P(a, p)
+			}
+		}
+	}
+}

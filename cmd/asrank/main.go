@@ -1,0 +1,116 @@
+// Command asrank infers AS business relationships and customer cones
+// from a BGP RIB (text "prefix|as path" form or MRT TABLE_DUMP_V2) —
+// the §4.1 input pipeline of bdrmapIT as a standalone tool, in the
+// spirit of CAIDA's AS Rank.
+//
+// Usage:
+//
+//	asrank -rib FILE [-out as-rel.txt] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/asrel"
+	"repro/internal/bgp"
+	"repro/internal/mrt"
+	"repro/internal/pfx2as"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asrank: ")
+	var (
+		rib    = flag.String("rib", "", "BGP RIB file (text or .mrt, required)")
+		out    = flag.String("out", "", "write the inferred relationships (serial-1) to this file")
+		pfxOut = flag.String("prefix2as", "", "write the RIB condensed to routeviews-prefix2as form")
+		top    = flag.Int("top", 15, "print the N largest customer cones")
+	)
+	flag.Parse()
+	if *rib == "" {
+		log.Fatal("-rib is required")
+	}
+	f, err := os.Open(*rib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var routes []bgp.Route
+	if strings.EqualFold(filepath.Ext(*rib), ".mrt") {
+		routes, err = mrt.Read(f)
+	} else {
+		routes, err = bgp.ReadRoutes(f)
+	}
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	paths := make([][]asn.ASN, 0, len(routes))
+	for _, r := range routes {
+		paths = append(paths, r.ASPath())
+	}
+	g := asrel.Infer(paths)
+	ases := g.ASes()
+	fmt.Printf("routes: %d  ASes: %d  relationship edges: %d\n",
+		len(routes), len(ases), g.NumEdges())
+
+	type coneRow struct {
+		as   asn.ASN
+		size int
+	}
+	rows := make([]coneRow, 0, len(ases))
+	for _, a := range ases {
+		rows = append(rows, coneRow{a, g.ConeSize(a)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].size != rows[j].size {
+			return rows[i].size > rows[j].size
+		}
+		return rows[i].as < rows[j].as
+	})
+	n := *top
+	if n > len(rows) {
+		n = len(rows)
+	}
+	fmt.Println("largest customer cones:")
+	for _, r := range rows[:n] {
+		fmt.Printf("  %-10s cone=%-5d customers=%-4d peers=%-4d providers=%d\n",
+			r.as, r.size, g.Customers(r.as).Len(), g.Peers(r.as).Len(), g.Providers(r.as).Len())
+	}
+
+	if *pfxOut != "" {
+		pf, err := os.Create(*pfxOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pfx2as.Write(pf, pfx2as.FromRoutes(routes)); err != nil {
+			pf.Close()
+			log.Fatal(err)
+		}
+		if err := pf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("prefix2as written to", *pfxOut)
+	}
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.Write(of); err != nil {
+			of.Close()
+			log.Fatal(err)
+		}
+		if err := of.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("relationships written to", *out)
+	}
+}

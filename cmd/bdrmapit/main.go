@@ -1,0 +1,118 @@
+// Command bdrmapit runs the full bdrmapIT inference over measurement
+// dataset files and reports router operator annotations and inferred
+// interdomain links.
+//
+// Usage:
+//
+//	bdrmapit -traces FILE[,FILE...] -rib FILE [-rir FILE] [-ixp FILE]
+//	         [-rels FILE] [-aliases FILE] [-annotations OUT] [-links OUT]
+//
+// Traceroute files may be JSON-lines (.jsonl) or the compact binary
+// form (.bin). With no -rels file, AS relationships are inferred from
+// the RIB. The -annotations output is "address router-AS connected-AS"
+// per observed interface; -links is "nearAS farAS farAddress
+// confidence" per inferred interdomain link.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	bdrmapit "repro"
+)
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bdrmapit: ")
+	var (
+		traces  = flag.String("traces", "", "traceroute file(s), comma separated (required)")
+		rib     = flag.String("rib", "", "BGP RIB file(s), comma separated")
+		rirF    = flag.String("rir", "", "RIR extended delegation file(s)")
+		ixpF    = flag.String("ixp", "", "IXP prefix list file(s)")
+		rels    = flag.String("rels", "", "AS relationship file(s) (serial-1); inferred from the RIB when absent")
+		aliases = flag.String("aliases", "", "ITDK alias nodes file(s)")
+		annOut  = flag.String("annotations", "", "write per-interface annotations to this file")
+		lnkOut  = flag.String("links", "", "write inferred interdomain links to this file")
+		itdkOut = flag.String("itdk", "", "write ITDK-format output (nodes, nodes.as, links) into this directory")
+		maxIter = flag.Int("max-iterations", 0, "refinement iteration cap (default 50)")
+	)
+	flag.Parse()
+	if *traces == "" {
+		log.Fatal("-traces is required")
+	}
+	res, err := bdrmapit.Run(bdrmapit.Sources{
+		TraceroutePaths:     split(*traces),
+		BGPRIBPaths:         split(*rib),
+		RIRDelegationPaths:  split(*rirF),
+		IXPPrefixListPaths:  split(*ixpF),
+		ASRelationshipPaths: split(*rels),
+		AliasNodePaths:      split(*aliases),
+	}, bdrmapit.Options{MaxIterations: *maxIter})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	links := res.InterdomainLinks()
+	fmt.Printf("interfaces: %d  routers: %d\n", res.NumInterfaces(), res.NumRouters())
+	fmt.Printf("refinement: %d iterations (converged: %v)\n", res.Iterations, res.Converged)
+	fmt.Printf("interdomain links: %d  distinct AS adjacencies: %d\n",
+		len(links), len(res.ASLinks()))
+
+	if *annOut != "" {
+		if err := writeTo(*annOut, res.Annotations); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("annotations written to", *annOut)
+	}
+	if *lnkOut != "" {
+		err := writeTo(*lnkOut, func(w io.Writer) error {
+			for _, l := range links {
+				if _, err := fmt.Fprintf(w, "%d %d %s %s\n",
+					l.NearAS, l.FarAS, l.FarAddr, l.Confidence); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("links written to", *lnkOut)
+	}
+	if *itdkOut != "" {
+		if err := res.WriteITDK(*itdkOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("ITDK files written to", *itdkOut)
+	}
+}
+
+// writeTo buffers fill's output into path.
+func writeTo(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fill(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,284 @@
+// Command evalharness regenerates every table and figure of the
+// bdrmapIT paper's evaluation (§7) against the simulated Internet
+// substrate, printing one text table per experiment. See EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	evalharness [-seed N] [-vps N] [-small] [-experiment name]
+//
+// Experiments: stats, fig15, fig16, fig17, fig18, fig19, fig20,
+// noalias, ablations, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evalharness: ")
+	var (
+		seed  = flag.Int64("seed", 2018, "simulation seed")
+		vps   = flag.Int("vps", 100, "number of vantage points in the main dataset")
+		small = flag.Bool("small", false, "use the small test-scale topology")
+		dual  = flag.Bool("dual", false, "also build a second dataset (seed+2) and report both, like the paper's 2016+2018 campaigns")
+		exp   = flag.String("experiment", "all", "experiment to run (stats, fig15, fig16, fig17, fig18, fig19, fig20, noalias, aliasimpact, ablations, all)")
+	)
+	flag.Parse()
+
+	cfg := topo.DefaultConfig(*seed)
+	if *small {
+		cfg = topo.SmallConfig(*seed)
+		if *vps > 20 {
+			*vps = 20
+		}
+	}
+	fmt.Printf("# bdrmapIT evaluation harness (seed=%d, vps=%d)\n", *seed, *vps)
+	ds, err := eval.BuildDataset(cfg, *vps, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# topology: %d ASes, %d routers, %d ground-truth links\n",
+		len(ds.In.ASList), len(ds.In.Routers), len(ds.In.TrueInterdomainLinks()))
+	fmt.Printf("# campaign: %d VPs, %d targets, %d traceroutes\n\n",
+		len(ds.VPs), len(ds.Targets), len(ds.Traces))
+
+	datasets := []*eval.Dataset{ds}
+	if *dual {
+		cfg2 := cfg
+		cfg2.Seed = *seed + 2
+		ds2, err := eval.BuildDataset(cfg2, *vps, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		datasets = append(datasets, ds2)
+		fmt.Printf("# second campaign (seed=%d): %d traceroutes\n\n", cfg2.Seed, len(ds2.Traces))
+	}
+	run := func(name string, f func(*eval.Dataset)) {
+		if *exp == "all" || *exp == name {
+			for i, d := range datasets {
+				if len(datasets) > 1 {
+					fmt.Printf("### campaign %d (seed %d)\n", i+1, d.In.Cfg.Seed)
+				}
+				f(d)
+				fmt.Println()
+			}
+		}
+	}
+	run("stats", printStats)
+	run("fig15", printFig15)
+	run("fig16", func(d *eval.Dataset) { printFig16(d, false) })
+	run("fig17", func(d *eval.Dataset) { printFig16(d, true) })
+	run("fig18", func(d *eval.Dataset) { printSweep(d, false) })
+	run("fig19", func(d *eval.Dataset) { printSweep(d, true) })
+	run("fig20", printFig20)
+	run("noalias", printNoAlias)
+	run("aliasimpact", printAliasImpact)
+	run("ipv6", printIPv6)
+	run("rels", printRels)
+	run("errors", printErrors)
+	run("ablations", printAblations)
+	if *exp != "all" {
+		switch *exp {
+		case "stats", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+			"noalias", "aliasimpact", "ipv6", "rels", "errors", "ablations":
+		default:
+			log.Fatalf("unknown experiment %q", *exp)
+		}
+	}
+}
+
+func printRels(ds *eval.Dataset) {
+	fmt.Println("## Relationship inference quality (the §4.1 input pipeline)")
+	ra := eval.RunRelAccuracy(ds)
+	rows := [][]string{
+		{"transit edges correct", strconv.Itoa(ra.P2CCorrect), ""},
+		{"transit edges wrong type", strconv.Itoa(ra.P2CWrongType), "inferred as peering"},
+		{"transit edges missing", strconv.Itoa(ra.P2CMissing), "not inferred at all"},
+		{"peering edges correct", strconv.Itoa(ra.P2PCorrect), ""},
+		{"peering edges wrong type", strconv.Itoa(ra.P2PWrongType), "inferred as transit"},
+		{"peering edges missing", strconv.Itoa(ra.P2PMissing), "mostly IXP/RE peerings no collector path crosses"},
+		{"spurious inferred edges", strconv.Itoa(ra.Spurious), ""},
+	}
+	fmt.Print(eval.FormatTable([]string{"class", "edges", "note"}, rows))
+}
+
+func printErrors(ds *eval.Dataset) {
+	fmt.Println("## Error census — why the remaining misannotations happen")
+	ec := eval.RunErrorCensus(ds)
+	rows := [][]string{
+		{"IRs with ground truth", strconv.Itoa(ec.Total)},
+		{"misannotated", fmt.Sprintf("%d (%s)", ec.Wrong, pct(frac(ec.Wrong, ec.Total)))},
+	}
+	for _, c := range ec.ClassList {
+		rows = append(rows, []string{"  " + string(c), strconv.Itoa(ec.PerClass[c])})
+	}
+	fmt.Print(eval.FormatTable([]string{"class", "IRs"}, rows))
+}
+
+func printIPv6(ds *eval.Dataset) {
+	fmt.Println("## IPv6 parity — the dual-stack extension (family-independence check)")
+	p := eval.RunIPv6Parity(ds)
+	rows := [][]string{
+		{"IPv4 campaign", pct(p.V4Accuracy), strconv.Itoa(p.V4Links)},
+		{"IPv6 campaign (embedded twin)", pct(p.V6Accuracy), strconv.Itoa(p.V6Links)},
+	}
+	fmt.Print(eval.FormatTable([]string{"family", "accuracy", "links"}, rows))
+	fmt.Println("expected: identical — the heuristics are address-family independent")
+}
+
+func printAliasImpact(ds *eval.Dataset) {
+	fmt.Println("## Alias impact — when grouping helps vs hurts (paper §7.4 future work)")
+	ai := eval.RunAliasImpact(ds)
+	rows := [][]string{
+		{"multi-interface IRs", strconv.Itoa(ai.MultiIRs), ""},
+		{"fixed by aliases", strconv.Itoa(ai.Fixed), "grouping supplied missing constraints"},
+		{"broken by aliases", strconv.Itoa(ai.Broken), "a noisy member dragged the group"},
+		{"  of which at reallocated blocks", strconv.Itoa(ai.BrokenAtRealloc), "paper: negative impact concentrates here"},
+		{"neutral", strconv.Itoa(ai.Neutral), ""},
+	}
+	fmt.Print(eval.FormatTable([]string{"class", "IRs", "note"}, rows))
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func printStats(ds *eval.Dataset) {
+	fmt.Println("## Dataset statistics (paper §4.1, §4.2, §5 prose)")
+	res := ds.RunBdrmapIT(nil, core.Options{})
+	st := res.Graph.Stats
+	totalLinks := st.LinksNexthop + st.LinksEcho + st.LinksMultihop
+	cov := ds.Resolver.Measure(eval.ObservedAddrs(ds.Traces))
+	rows := [][]string{
+		{"traceroutes", strconv.Itoa(st.Traces), ""},
+		{"distinct links", strconv.Itoa(totalLinks), ""},
+		{"Nexthop links", pct(frac(st.LinksNexthop, totalLinks)), "paper: 96.4%"},
+		{"IRs with E links but no N", pct(frac(st.IRsEchoOnlyLink, st.IRsWithLinks)), "paper: 2.8%"},
+		{"last-hop IRs", pct(frac(st.LastHopIRs, st.LastHopIRs+st.IRsWithLinks)), "paper: ~98% (ITDK scale)"},
+		{"last-hop IRs w/ empty dest set", pct(frac(st.LastHopEmptyDst, st.LastHopIRs)), "paper: 73.3%"},
+		{"addresses with an IP-AS mapping", pct(cov.Fraction()), "paper: 99.95%"},
+		{"refinement iterations", strconv.Itoa(res.Iterations), ""},
+	}
+	fmt.Print(eval.FormatTable([]string{"metric", "value", "reference"}, rows))
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func printFig15(ds *eval.Dataset) {
+	fmt.Println("## Fig. 15 — single in-network VP: bdrmapIT vs bdrmap accuracy")
+	var rows [][]string
+	for _, r := range eval.RunFig15(ds) {
+		rows = append(rows, []string{
+			r.Network, r.ASN.String(), strconv.Itoa(r.Links),
+			pct(r.BdrmapIT), pct(r.Bdrmap),
+		})
+	}
+	fmt.Print(eval.FormatTable(
+		[]string{"network", "asn", "links", "bdrmapIT", "bdrmap"}, rows))
+	fmt.Println("paper: both ≥0.9 for all networks, bdrmapIT slightly more accurate")
+}
+
+func printFig16(ds *eval.Dataset, excludeLastHop bool) {
+	if excludeLastHop {
+		fmt.Println("## Fig. 17 — no in-network VP, excluding last-hop-only links")
+	} else {
+		fmt.Println("## Fig. 16 — no in-network VP: bdrmapIT vs MAP-IT")
+	}
+	var rows [][]string
+	for _, r := range eval.RunFig16(ds, excludeLastHop) {
+		rows = append(rows, []string{
+			r.Network, r.ASN.String(), strconv.Itoa(r.Links),
+			pct(r.BdrmapIT.Precision()), pct(r.BdrmapIT.Recall()),
+			pct(r.MAPIT.Precision()), pct(r.MAPIT.Recall()),
+		})
+	}
+	fmt.Print(eval.FormatTable(
+		[]string{"network", "asn", "links", "bdrmapIT-P", "bdrmapIT-R", "MAP-IT-P", "MAP-IT-R"}, rows))
+	if excludeLastHop {
+		fmt.Println("paper: bdrmapIT still well ahead of MAP-IT on recall mid-path")
+	} else {
+		fmt.Println("paper: bdrmapIT 91.8–98.8% precision, 93.2–97.1% recall; MAP-IT recall 0.4–0.7")
+	}
+}
+
+func printSweep(ds *eval.Dataset, visible bool) {
+	sizes := []int{20, 40, 60, 80}
+	rows := eval.RunVPSweep(ds, sizes, 5)
+	if visible {
+		fmt.Println("## Fig. 19 — visible-link fraction vs number of VPs")
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{
+				strconv.Itoa(r.NumVPs), r.Network,
+				pct(r.VisibleMean), fmt.Sprintf("±%.3f", r.VisibleSE),
+			})
+		}
+		fmt.Print(eval.FormatTable([]string{"vps", "network", "visible", "stderr"}, out))
+		fmt.Println("paper: visible links grow with VP count (0.6→1.0)")
+		return
+	}
+	fmt.Println("## Fig. 18 — precision/recall vs number of VPs (5 random sets each)")
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.NumVPs), r.Network,
+			pct(r.PrecMean), fmt.Sprintf("±%.3f", r.PrecSE),
+			pct(r.RecMean), fmt.Sprintf("±%.3f", r.RecSE),
+		})
+	}
+	fmt.Print(eval.FormatTable([]string{"vps", "network", "precision", "±", "recall", "±"}, out))
+	fmt.Println("paper: accuracy does not diminish as VPs decrease (P 92.4–99.6%, R 95.4–98.6% at 20 VPs)")
+}
+
+func printFig20(ds *eval.Dataset) {
+	fmt.Println("## Fig. 20 — alias resolution: midar+iffinder vs kapar (multi-alias IRs)")
+	var rows [][]string
+	for _, r := range eval.RunFig20(ds) {
+		rows = append(rows, []string{
+			r.Network, r.ASN.String(),
+			pct(r.MidarAcc), strconv.Itoa(r.MidarRouters),
+			pct(r.KaparAcc), strconv.Itoa(r.KaparRouters),
+		})
+	}
+	fmt.Print(eval.FormatTable(
+		[]string{"network", "asn", "midar-acc", "midar-IRs", "kapar-acc", "kapar-IRs"}, rows))
+	fmt.Println("paper: kapar's imprecise groups lower bdrmapIT's accuracy vs midar+iffinder")
+}
+
+func printNoAlias(ds *eval.Dataset) {
+	fmt.Println("## §7.4 — alias resolution vs none")
+	withRes := ds.RunBdrmapIT(ds.Aliases, core.Options{})
+	noneRes := ds.RunBdrmapIT(eval.EmptyAliases(), core.Options{})
+	wa, n := ds.OverallAccuracy(withRes)
+	na, _ := ds.OverallAccuracy(noneRes)
+	rows := [][]string{
+		{"midar+iffinder", pct(wa), strconv.Itoa(n)},
+		{"no alias resolution", pct(na), strconv.Itoa(n)},
+		{"delta", fmt.Sprintf("%+.2f pp", 100*(wa-na)), ""},
+	}
+	fmt.Print(eval.FormatTable([]string{"aliases", "accuracy", "links"}, rows))
+	fmt.Println("paper: <0.1% difference in accuracy")
+}
+
+func printAblations(ds *eval.Dataset) {
+	fmt.Println("## Ablations — each heuristic's contribution (DESIGN.md)")
+	var rows [][]string
+	for _, r := range eval.RunAblations(ds) {
+		rows = append(rows, []string{r.Name, pct(r.Accuracy), strconv.Itoa(r.Links)})
+	}
+	fmt.Print(eval.FormatTable([]string{"configuration", "accuracy", "links"}, rows))
+	os.Stdout.Sync()
+}

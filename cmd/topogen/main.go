@@ -1,0 +1,71 @@
+// Command topogen generates a synthetic Internet measurement dataset:
+// a traceroute campaign with the matching BGP RIB, RIR delegations, IXP
+// prefixes, AS relationships, alias nodes, and ground truth. The output
+// directory feeds directly into cmd/bdrmapit.
+//
+// Usage:
+//
+//	topogen -out DIR [-seed N] [-small] [-vps N] [-single-vp NETWORK]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topogen: ")
+	var (
+		out      = flag.String("out", "", "output directory (required)")
+		seed     = flag.Int64("seed", 2018, "generation seed")
+		small    = flag.Bool("small", false, "generate the small (~50 AS) topology")
+		vps      = flag.Int("vps", 100, "number of vantage points")
+		singleVP = flag.String("single-vp", "", "run from one VP inside a ground-truth network (Tier1, LAccess, RE1, RE2)")
+		inclGT   = flag.Bool("include-gt-vps", false, "allow VPs inside the ground-truth networks")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	n, err := simnet.Generate(simnet.Options{
+		Seed:                  *seed,
+		Small:                 *small,
+		NumVPs:                *vps,
+		IncludeGroundTruthVPs: *inclGT,
+		SingleVPIn:            *singleVP,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths, err := n.WriteDataset(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := n.Stats()
+	fmt.Printf("generated %d ASes, %d routers, %d interfaces\n", st.ASes, st.Routers, st.Interfaces)
+	fmt.Printf("campaign: %d VPs x %d targets = %d traceroutes\n", st.VPs, st.Targets, st.Traces)
+	fmt.Printf("ground-truth interdomain links: %d\n", st.GroundTruthLinks)
+	gts := n.GroundTruthNetworks()
+	var names []string
+	for k := range gts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("ground-truth network %-8s AS%d\n", k, gts[k])
+	}
+	fmt.Println()
+	fmt.Println("wrote:")
+	fmt.Println("  traceroutes:   ", paths.Traceroutes)
+	fmt.Println("  bgp rib:       ", paths.RIB)
+	fmt.Println("  rir delegated: ", paths.Delegations)
+	fmt.Println("  ixp prefixes:  ", paths.IXPPrefixes)
+	fmt.Println("  relationships: ", paths.Relationships)
+	fmt.Println("  alias nodes:   ", paths.Aliases)
+	fmt.Println("  ground truth:  ", paths.GroundTruth)
+}

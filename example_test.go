@@ -1,0 +1,62 @@
+package bdrmapit_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	bdrmapit "repro"
+	"repro/simnet"
+)
+
+// Example demonstrates the complete workflow: generate a synthetic
+// measurement dataset, run the inference over the files, and check the
+// result against ground truth.
+func Example() {
+	net, err := simnet.Generate(simnet.Options{Small: true, Seed: 12, NumVPs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "bdrmapit-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths, err := net.WriteDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := bdrmapit.Run(bdrmapit.Sources{
+		TraceroutePaths:     []string{paths.Traceroutes},
+		BGPRIBPaths:         []string{paths.RIB},
+		RIRDelegationPaths:  []string{paths.Delegations},
+		IXPPrefixListPaths:  []string{paths.IXPPrefixes},
+		ASRelationshipPaths: []string{paths.Relationships},
+		AliasNodePaths:      []string{paths.Aliases},
+	}, bdrmapit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth, err := simnet.ReadGroundTruth(paths.GroundTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct, total := 0, 0
+	for addr, owner := range truth {
+		if inferred, ok := res.RouterOperator(addr); ok {
+			total++
+			if inferred == owner {
+				correct++
+			}
+		}
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("links found:", len(res.InterdomainLinks()) > 0)
+	fmt.Println("router accuracy above 85%:", float64(correct)/float64(total) > 0.85)
+	// Output:
+	// converged: true
+	// links found: true
+	// router accuracy above 85%: true
+}

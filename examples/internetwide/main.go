@@ -1,0 +1,114 @@
+// Internet-wide border mapping: the MAP-IT scenario generalized (paper
+// §7.2). Traceroutes from many vantage points in many networks are
+// aggregated and every observed router is annotated with its operating
+// AS — no VP inside the networks of interest.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	bdrmapit "repro"
+	"repro/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := simnet.Generate(simnet.Options{Small: true, Seed: 99, NumVPs: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := net.Stats()
+	fmt.Printf("campaign: %d VPs x %d targets = %d traceroutes\n",
+		st.VPs, st.Targets, st.Traces)
+
+	dir, err := os.MkdirTemp("", "bdrmapit-internetwide")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths, err := net.WriteDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bdrmapit.Run(bdrmapit.Sources{
+		TraceroutePaths:    []string{paths.Traceroutes},
+		BGPRIBPaths:        []string{paths.RIB},
+		RIRDelegationPaths: []string{paths.Delegations},
+		IXPPrefixListPaths: []string{paths.IXPPrefixes},
+		// No relationship file: inferred from the RIB's AS paths.
+		AliasNodePaths: []string{paths.Aliases},
+	}, bdrmapit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annotated %d routers; %d refinement iterations (converged=%v)\n",
+		res.NumRouters(), res.Iterations, res.Converged)
+
+	// The networks with the most inferred interdomain links — the view
+	// a congestion or resilience study would start from.
+	degree := make(map[uint32]int)
+	for _, pair := range res.ASLinks() {
+		degree[pair[0]]++
+		degree[pair[1]]++
+	}
+	type kv struct {
+		as uint32
+		n  int
+	}
+	var top []kv
+	for a, n := range degree {
+		top = append(top, kv{a, n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].as < top[j].as
+	})
+	fmt.Println("most-connected networks by inferred AS adjacencies:")
+	for i, e := range top {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  AS%-6d %3d adjacencies\n", e.as, e.n)
+	}
+
+	// Per-ground-truth-network router accuracy.
+	truth, err := simnet.ReadGroundTruth(paths.GroundTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gts := net.GroundTruthNetworks()
+	var names []string
+	for k := range gts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Println("router-operator accuracy for the validation networks:")
+	for _, name := range names {
+		want := gts[name]
+		correct, total := 0, 0
+		for addr, owner := range truth {
+			if owner != want {
+				continue
+			}
+			inferred, ok := res.RouterOperator(addr)
+			if !ok {
+				continue
+			}
+			total++
+			if inferred == owner {
+				correct++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s AS%-6d %.1f%% of %d observed interfaces\n",
+			name, want, 100*float64(correct)/float64(total), total)
+	}
+}

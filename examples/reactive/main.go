@@ -1,0 +1,90 @@
+// Reactive collection: the original bdrmap workflow end to end. The
+// data-collection component traceroutes every routed prefix from a
+// single vantage point, reactively re-probing prefixes whose traces
+// never reached the target's address space, and resolves aliases over
+// the discovered interfaces — then the inference maps the VP network's
+// borders from the collected bundle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	bdrmapit "repro"
+	"repro/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := simnet.Generate(simnet.Options{Small: true, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gt := net.GroundTruthNetworks()
+	vpNet := gt["LAccess"]
+
+	// 1. Reactive collection from inside the large access network.
+	outcome, err := net.CollectDataset("LAccess")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d traceroutes over %d routed prefixes (%d reactively re-probed)\n",
+		outcome.Traces, outcome.Prefixes, outcome.Reprobed)
+
+	dir, err := os.MkdirTemp("", "bdrmapit-reactive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths, err := net.WriteDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Inference over the collected bundle.
+	res, err := bdrmapit.Run(bdrmapit.Sources{
+		TraceroutePaths:     []string{paths.Traceroutes},
+		BGPRIBPaths:         []string{paths.RIBMRT}, // MRT form, as Routeviews ships it
+		RIRDelegationPaths:  []string{paths.Delegations},
+		IXPPrefixListPaths:  []string{paths.IXPPrefixes},
+		ASRelationshipPaths: []string{paths.Relationships},
+		AliasNodePaths:      []string{paths.Aliases},
+	}, bdrmapit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	neighbors := map[uint32]bool{}
+	for _, l := range res.InterdomainLinks() {
+		switch vpNet {
+		case l.NearAS:
+			neighbors[l.FarAS] = true
+		case l.FarAS:
+			neighbors[l.NearAS] = true
+		}
+	}
+	fmt.Printf("AS%d interconnects with %d networks (from %d inferred links total)\n",
+		vpNet, len(neighbors), len(res.InterdomainLinks()))
+
+	// 3. Score the borders against ground truth.
+	truth, err := simnet.ReadGroundTruth(paths.GroundTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, l := range res.InterdomainLinks() {
+		if l.NearAS != vpNet && l.FarAS != vpNet {
+			continue
+		}
+		total++
+		if truth[l.FarAddr] == l.FarAS {
+			correct++
+		}
+	}
+	if total > 0 {
+		fmt.Printf("far-side operators correct for %.1f%% of the %d border links\n",
+			100*float64(correct)/float64(total), total)
+	}
+}

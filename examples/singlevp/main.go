@@ -1,0 +1,98 @@
+// Single-VP border mapping: the original bdrmap scenario (paper §7.1).
+// A vantage point inside one network maps that network's borders — who
+// it interconnects with, at which router interfaces — from targeted
+// traceroutes to every routed prefix.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	bdrmapit "repro"
+	"repro/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A campaign from a single vantage point inside the tier-1
+	// ground-truth network.
+	net, err := simnet.Generate(simnet.Options{Small: true, Seed: 7, SingleVPIn: "Tier1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gt := net.GroundTruthNetworks()
+	vpNet := gt["Tier1"]
+	fmt.Printf("mapping the borders of AS%d from a single internal VP (%v)\n",
+		vpNet, net.VPNames())
+
+	dir, err := os.MkdirTemp("", "bdrmapit-singlevp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths, err := net.WriteDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bdrmapit.Run(bdrmapit.Sources{
+		TraceroutePaths:     []string{paths.Traceroutes},
+		BGPRIBPaths:         []string{paths.RIB},
+		RIRDelegationPaths:  []string{paths.Delegations},
+		IXPPrefixListPaths:  []string{paths.IXPPrefixes},
+		ASRelationshipPaths: []string{paths.Relationships},
+		AliasNodePaths:      []string{paths.Aliases},
+	}, bdrmapit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The VP network's neighbours: far side of every inferred link that
+	// involves it.
+	neighborLinks := make(map[uint32]int)
+	for _, l := range res.InterdomainLinks() {
+		switch vpNet {
+		case l.NearAS:
+			neighborLinks[l.FarAS]++
+		case l.FarAS:
+			neighborLinks[l.NearAS]++
+		}
+	}
+	var neighbors []uint32
+	for n := range neighborLinks {
+		neighbors = append(neighbors, n)
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		return neighborLinks[neighbors[i]] > neighborLinks[neighbors[j]]
+	})
+	fmt.Printf("inferred %d interconnected networks:\n", len(neighbors))
+	for i, n := range neighbors {
+		if i == 15 {
+			fmt.Printf("  … and %d more\n", len(neighbors)-15)
+			break
+		}
+		fmt.Printf("  AS%-6d %d border link(s)\n", n, neighborLinks[n])
+	}
+
+	// Validate against ground truth, the way the paper's operators did.
+	truth, err := simnet.ReadGroundTruth(paths.GroundTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, l := range res.InterdomainLinks() {
+		if l.NearAS != vpNet && l.FarAS != vpNet {
+			continue
+		}
+		total++
+		if truth[l.FarAddr] == l.FarAS {
+			correct++
+		}
+	}
+	if total > 0 {
+		fmt.Printf("far-side operator correct for %.1f%% of the %d links involving AS%d\n",
+			100*float64(correct)/float64(total), total, vpNet)
+	}
+}

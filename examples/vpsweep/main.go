@@ -1,0 +1,73 @@
+// VP sweep: how inference coverage and stability change with the number
+// of vantage points (paper §7.3, Figs. 18–19). The full campaign is
+// generated once; inference reruns over growing VP subsets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	bdrmapit "repro"
+	"repro/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	net, err := simnet.Generate(simnet.Options{Small: true, Seed: 5, NumVPs: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "bdrmapit-vpsweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	paths, err := net.WriteDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := simnet.ReadGroundTruth(paths.GroundTruth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vps := net.VPNames()
+
+	fmt.Printf("%-6s %-12s %-14s %s\n", "VPs", "links", "adjacencies", "router accuracy")
+	for _, n := range []int{5, 10, 15, len(vps)} {
+		subset := make(map[string]bool, n)
+		for _, vp := range vps[:n] {
+			subset[vp] = true
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("traces-%d.jsonl", n))
+		if _, err := bdrmapit.FilterTracesByVP(paths.Traceroutes, sub,
+			func(vp string) bool { return subset[vp] }); err != nil {
+			log.Fatal(err)
+		}
+		res, err := bdrmapit.Run(bdrmapit.Sources{
+			TraceroutePaths:    []string{sub},
+			BGPRIBPaths:        []string{paths.RIB},
+			RIRDelegationPaths: []string{paths.Delegations},
+			IXPPrefixListPaths: []string{paths.IXPPrefixes},
+			AliasNodePaths:     []string{paths.Aliases},
+		}, bdrmapit.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		correct, total := 0, 0
+		for addr, owner := range truth {
+			if inferred, ok := res.RouterOperator(addr); ok {
+				total++
+				if inferred == owner {
+					correct++
+				}
+			}
+		}
+		fmt.Printf("%-6d %-12d %-14d %.1f%% of %d interfaces\n",
+			n, len(res.InterdomainLinks()), len(res.ASLinks()),
+			100*float64(correct)/float64(total), total)
+	}
+	fmt.Println("\nvisible links grow with VPs; accuracy holds (paper Figs. 18-19)")
+}

@@ -1,0 +1,130 @@
+package alias
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func a(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestSetsAddAndQuery(t *testing.T) {
+	s := NewSets()
+	s.Add(a("1.1.1.1"), a("1.1.1.2"))
+	s.Add(a("2.2.2.1"), a("2.2.2.2"))
+	if !s.SameRouter(a("1.1.1.1"), a("1.1.1.2")) {
+		t.Error("grouped addrs not same router")
+	}
+	if s.SameRouter(a("1.1.1.1"), a("2.2.2.1")) {
+		t.Error("distinct groups merged")
+	}
+	if s.SameRouter(a("1.1.1.1"), a("9.9.9.9")) {
+		t.Error("ungrouped addr matched")
+	}
+	if s.NumGroups() != 2 || s.NumAddrs() != 4 {
+		t.Errorf("counts: %d groups %d addrs", s.NumGroups(), s.NumAddrs())
+	}
+}
+
+func TestSetsTransitiveUnion(t *testing.T) {
+	s := NewSets()
+	s.Add(a("1.1.1.1"), a("1.1.1.2"))
+	s.Add(a("2.2.2.1"), a("2.2.2.2"))
+	// Bridge the two groups.
+	s.Add(a("1.1.1.2"), a("2.2.2.1"))
+	if !s.SameRouter(a("1.1.1.1"), a("2.2.2.2")) {
+		t.Error("transitive union failed")
+	}
+	if s.NumGroups() != 1 {
+		t.Errorf("groups = %d, want 1", s.NumGroups())
+	}
+	if got := s.Members(a("1.1.1.1")); len(got) != 4 {
+		t.Errorf("members = %v", got)
+	}
+}
+
+func TestMembersSingleton(t *testing.T) {
+	s := NewSets()
+	got := s.Members(a("9.9.9.9"))
+	if len(got) != 1 || got[0] != a("9.9.9.9") {
+		t.Errorf("singleton members = %v", got)
+	}
+}
+
+func TestGroupsDeterministic(t *testing.T) {
+	build := func() []string {
+		s := NewSets()
+		s.Add(a("5.5.5.5"), a("5.5.5.6"))
+		s.Add(a("1.1.1.1"), a("1.1.1.2"))
+		var out []string
+		s.Groups(func(addrs []netip.Addr) bool {
+			out = append(out, addrs[0].String())
+			return true
+		})
+		return out
+	}
+	one, two := build(), build()
+	if len(one) != 2 || one[0] != "1.1.1.1" {
+		t.Errorf("group order: %v", one)
+	}
+	for i := range one {
+		if one[i] != two[i] {
+			t.Errorf("nondeterministic: %v vs %v", one, two)
+		}
+	}
+}
+
+func TestNodesRoundTrip(t *testing.T) {
+	s := NewSets()
+	s.Add(a("1.1.1.1"), a("1.1.1.2"), a("10.0.0.1"))
+	s.Add(a("2.2.2.1"), a("2.2.2.2"))
+	var buf bytes.Buffer
+	if err := s.WriteNodes(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadNodes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumGroups() != 2 || again.NumAddrs() != 5 {
+		t.Fatalf("round trip: %d groups %d addrs", again.NumGroups(), again.NumAddrs())
+	}
+	if !again.SameRouter(a("1.1.1.1"), a("10.0.0.1")) {
+		t.Error("group membership lost")
+	}
+}
+
+func TestReadNodesFormat(t *testing.T) {
+	in := "# comment\nnode N1:  1.2.3.4 5.6.7.8\n\nnode N2:  9.9.9.9\n"
+	s, err := ReadNodes(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SameRouter(a("1.2.3.4"), a("5.6.7.8")) {
+		t.Error("N1 not grouped")
+	}
+	if _, ok := s.GroupOf(a("9.9.9.9")); !ok {
+		t.Error("singleton node dropped")
+	}
+	for _, bad := range []string{"bogus line", "node N1 1.2.3.4", "node N1:  notanip"} {
+		if _, err := ReadNodes(strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	x := NewSets()
+	x.Add(a("1.1.1.1"), a("1.1.1.2"))
+	y := NewSets()
+	y.Add(a("1.1.1.2"), a("1.1.1.3"))
+	m := Merge(x, y, nil)
+	if !m.SameRouter(a("1.1.1.1"), a("1.1.1.3")) {
+		t.Error("merge did not union overlapping groups")
+	}
+	// Merge must not mutate the parts.
+	if x.SameRouter(a("1.1.1.1"), a("1.1.1.3")) {
+		t.Error("merge mutated input")
+	}
+}

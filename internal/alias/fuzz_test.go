@@ -1,0 +1,29 @@
+package alias
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// FuzzReadNodes asserts the ITDK nodes parser never panics and that
+// accepted partitions are internally consistent.
+func FuzzReadNodes(f *testing.F) {
+	f.Add("node N1:  1.2.3.4 5.6.7.8\n")
+	f.Add("# comment\n\nnode N2:  9.9.9.9\n")
+	f.Add("node N1:\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadNodes(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		s.Groups(func(addrs []netip.Addr) bool {
+			for _, a := range addrs {
+				if !s.SameRouter(a, addrs[0]) {
+					t.Fatal("partition inconsistent")
+				}
+			}
+			return true
+		})
+	})
+}

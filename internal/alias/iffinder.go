@@ -1,0 +1,44 @@
+package alias
+
+import "net/netip"
+
+// UDPProber abstracts the probing iffinder needs: sending a UDP probe to
+// a high (closed) port and observing the source address of the ICMP
+// Port Unreachable reply. Many routers source that reply from a fixed
+// interface (often a loopback), revealing aliases. ok is false when the
+// address does not reply.
+type UDPProber interface {
+	ProbeUDP(addr netip.Addr) (replySrc netip.Addr, ok bool)
+}
+
+// Iffinder runs an iffinder-style (Keys) sweep: each candidate address
+// is probed, and an address that replies from a different source address
+// is aliased with that source. Addresses replying from themselves yield
+// no alias information.
+func Iffinder(p UDPProber, addrs []netip.Addr) *Sets {
+	sets := NewSets()
+	for _, a := range addrs {
+		src, ok := p.ProbeUDP(a)
+		if !ok || !src.IsValid() || src == a {
+			continue
+		}
+		sets.Add(a, src)
+	}
+	return sets
+}
+
+// Merge unions two alias partitions into a new one (e.g. MIDAR plus
+// iffinder, the combination the ITDK midar+iffinder dataset ships).
+func Merge(parts ...*Sets) *Sets {
+	out := NewSets()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		p.Groups(func(addrs []netip.Addr) bool {
+			out.Add(addrs...)
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package asn
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	if got := ASN(65001).String(); got != "AS65001" {
+		t.Errorf("got %q", got)
+	}
+	if got := None.String(); got != "AS?" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ASN
+		err  bool
+	}{
+		{"65001", 65001, false},
+		{"AS65001", 65001, false},
+		{"as3356", 3356, false},
+		{"4294967295", 4294967295, false},
+		{"4294967296", 0, true},
+		{"", 0, true},
+		{"ASX", 0, true},
+		{"-5", 0, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("Parse(%q) err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		if v == 0 {
+			return true // None stringifies specially
+		}
+		got, err := Parse(ASN(v).String())
+		return err == nil && got == ASN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2)
+	if s.Len() != 3 || !s.Has(1) || !s.Has(2) || !s.Has(3) || s.Has(4) {
+		t.Errorf("set contents wrong: %v", s)
+	}
+	s.Add(4)
+	s.Add(4)
+	if s.Len() != 4 {
+		t.Errorf("duplicate add changed length: %d", s.Len())
+	}
+	sorted := s.Sorted()
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		t.Errorf("Sorted not sorted: %v", sorted)
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(2, 3, 4)
+	got := a.Intersect(b)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("intersect = %v", got)
+	}
+	if n := a.Intersect(NewSet()); len(n) != 0 {
+		t.Errorf("intersect with empty = %v", n)
+	}
+}
+
+func TestSetCloneEqual(t *testing.T) {
+	a := NewSet(1, 2)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Add(3)
+	if a.Equal(b) || a.Has(3) {
+		t.Error("clone not independent")
+	}
+	if NewSet(1).Equal(NewSet(2)) {
+		t.Error("distinct singletons equal")
+	}
+}
+
+func TestSetAddAll(t *testing.T) {
+	a := NewSet(1)
+	a.AddAll(NewSet(2, 3))
+	if a.Len() != 3 {
+		t.Errorf("AddAll: %v", a)
+	}
+}
+
+func TestCounterMax(t *testing.T) {
+	c := make(Counter)
+	if top, n := c.Max(); top != nil || n != 0 {
+		t.Errorf("empty counter max = %v, %d", top, n)
+	}
+	c.Inc(1, 2)
+	c.Inc(2, 3)
+	c.Inc(3, 3)
+	top, n := c.Max()
+	if n != 3 || len(top) != 2 || top[0] != 2 || top[1] != 3 {
+		t.Errorf("max = %v, %d", top, n)
+	}
+	if c.Total() != 8 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestCounterMaxIgnoresNonPositive(t *testing.T) {
+	c := make(Counter)
+	c.Inc(1, 1)
+	c.Inc(1, -1)
+	if top, n := c.Max(); n != 0 || top != nil {
+		t.Errorf("zeroed counter max = %v, %d", top, n)
+	}
+}
+
+// Property: Sorted returns each member exactly once.
+func TestSortedMembership(t *testing.T) {
+	f := func(vals []uint32) bool {
+		s := NewSet()
+		uniq := make(map[ASN]bool)
+		for _, v := range vals {
+			s.Add(ASN(v))
+			uniq[ASN(v)] = true
+		}
+		sorted := s.Sorted()
+		if len(sorted) != len(uniq) {
+			return false
+		}
+		for _, a := range sorted {
+			if !uniq[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

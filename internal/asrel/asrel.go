@@ -1,0 +1,296 @@
+// Package asrel models AS business relationships (provider-customer and
+// peer-peer) and customer cones, which bdrmapIT uses to constrain router
+// ownership inference (paper §4.1). It reads and writes the CAIDA
+// serial-1 relationship format and, when no relationship file is
+// available, infers relationships from BGP AS paths with a simplified
+// version of Luckie et al. 2013.
+package asrel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asn"
+)
+
+// Graph holds AS relationships. The zero value is not usable; construct
+// with New.
+type Graph struct {
+	providers map[asn.ASN]asn.Set // AS → its transit providers
+	customers map[asn.ASN]asn.Set // AS → its customers
+	peers     map[asn.ASN]asn.Set // AS → its settlement-free peers
+
+	coneMu    coneCache
+	coneDirty bool
+}
+
+type coneCache struct {
+	cones map[asn.ASN]asn.Set
+	sizes map[asn.ASN]int
+}
+
+// New returns an empty relationship graph.
+func New() *Graph {
+	return &Graph{
+		providers: make(map[asn.ASN]asn.Set),
+		customers: make(map[asn.ASN]asn.Set),
+		peers:     make(map[asn.ASN]asn.Set),
+	}
+}
+
+func addTo(m map[asn.ASN]asn.Set, k, v asn.ASN) {
+	s, ok := m[k]
+	if !ok {
+		s = asn.NewSet()
+		m[k] = s
+	}
+	s.Add(v)
+}
+
+// AddP2C records that provider transits customer.
+func (g *Graph) AddP2C(provider, customer asn.ASN) {
+	if provider == customer || provider == asn.None || customer == asn.None {
+		return
+	}
+	addTo(g.customers, provider, customer)
+	addTo(g.providers, customer, provider)
+	g.invalidate()
+}
+
+// AddP2P records a settlement-free peering between a and b.
+func (g *Graph) AddP2P(a, b asn.ASN) {
+	if a == b || a == asn.None || b == asn.None {
+		return
+	}
+	addTo(g.peers, a, b)
+	addTo(g.peers, b, a)
+	g.invalidate()
+}
+
+func (g *Graph) invalidate() {
+	g.coneMu.cones = nil
+	g.coneMu.sizes = nil
+}
+
+// HasRelationship reports whether a and b share any BGP-observable
+// relationship (transit in either direction, or peering).
+func (g *Graph) HasRelationship(a, b asn.ASN) bool {
+	if a == b {
+		return false
+	}
+	return g.customers[a].Has(b) || g.providers[a].Has(b) || g.peers[a].Has(b)
+}
+
+// IsProvider reports whether p is a transit provider of c.
+func (g *Graph) IsProvider(p, c asn.ASN) bool { return g.customers[p].Has(c) }
+
+// IsPeer reports whether a and b peer.
+func (g *Graph) IsPeer(a, b asn.ASN) bool { return g.peers[a].Has(b) }
+
+// Providers returns the providers of a (never nil).
+func (g *Graph) Providers(a asn.ASN) asn.Set {
+	if s, ok := g.providers[a]; ok {
+		return s
+	}
+	return asn.Set{}
+}
+
+// Customers returns the customers of a (never nil).
+func (g *Graph) Customers(a asn.ASN) asn.Set {
+	if s, ok := g.customers[a]; ok {
+		return s
+	}
+	return asn.Set{}
+}
+
+// Peers returns the peers of a (never nil).
+func (g *Graph) Peers(a asn.ASN) asn.Set {
+	if s, ok := g.peers[a]; ok {
+		return s
+	}
+	return asn.Set{}
+}
+
+// ASes returns every AS mentioned in the graph, sorted.
+func (g *Graph) ASes() []asn.ASN {
+	seen := asn.NewSet()
+	for a := range g.providers {
+		seen.Add(a)
+	}
+	for a := range g.customers {
+		seen.Add(a)
+	}
+	for a := range g.peers {
+		seen.Add(a)
+	}
+	return seen.Sorted()
+}
+
+// NumEdges returns the count of distinct relationship edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, s := range g.customers {
+		n += s.Len()
+	}
+	p := 0
+	for _, s := range g.peers {
+		p += s.Len()
+	}
+	return n + p/2
+}
+
+// CustomerCone returns the customer cone of a: a itself plus every AS
+// reachable from a by following only provider→customer edges (paper
+// §4.1). The result is cached; do not mutate it.
+func (g *Graph) CustomerCone(a asn.ASN) asn.Set {
+	if g.coneMu.cones == nil {
+		g.coneMu.cones = make(map[asn.ASN]asn.Set)
+		g.coneMu.sizes = make(map[asn.ASN]int)
+	}
+	if c, ok := g.coneMu.cones[a]; ok {
+		return c
+	}
+	cone := asn.NewSet(a)
+	queue := []asn.ASN{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for c := range g.customers[cur] {
+			if !cone.Has(c) {
+				cone.Add(c)
+				queue = append(queue, c)
+			}
+		}
+	}
+	g.coneMu.cones[a] = cone
+	g.coneMu.sizes[a] = cone.Len()
+	return cone
+}
+
+// ConeSize returns |CustomerCone(a)|. Stub ASes have cone size 1.
+func (g *Graph) ConeSize(a asn.ASN) int {
+	if g.coneMu.sizes != nil {
+		if n, ok := g.coneMu.sizes[a]; ok {
+			return n
+		}
+	}
+	return g.CustomerCone(a).Len()
+}
+
+// InCone reports whether member is inside owner's customer cone.
+func (g *Graph) InCone(owner, member asn.ASN) bool {
+	return g.CustomerCone(owner).Has(member)
+}
+
+// SmallestCone returns the candidate with the smallest customer cone,
+// breaking ties toward the smallest ASN. It returns asn.None for an
+// empty candidate list. This is the paper's recurring tie-break.
+func (g *Graph) SmallestCone(candidates []asn.ASN) asn.ASN {
+	best, bestSize := asn.None, -1
+	for _, a := range candidates {
+		sz := g.ConeSize(a)
+		if bestSize == -1 || sz < bestSize || (sz == bestSize && a < best) {
+			best, bestSize = a, sz
+		}
+	}
+	return best
+}
+
+// LargestCone returns the candidate with the largest customer cone,
+// breaking ties toward the smallest ASN.
+func (g *Graph) LargestCone(candidates []asn.ASN) asn.ASN {
+	best, bestSize := asn.None, -1
+	for _, a := range candidates {
+		sz := g.ConeSize(a)
+		if sz > bestSize || (sz == bestSize && a < best) {
+			best, bestSize = a, sz
+		}
+	}
+	return best
+}
+
+// Read parses the CAIDA serial-1 relationship format: one edge per line,
+// "as1|as2|rel" with rel -1 for as1-provider-of-as2 and 0 for peering.
+// Comment lines start with '#'.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("asrel: line %d: expected as1|as2|rel", lineno)
+		}
+		a, err := asn.Parse(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("asrel: line %d: %w", lineno, err)
+		}
+		b, err := asn.Parse(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("asrel: line %d: %w", lineno, err)
+		}
+		rel, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("asrel: line %d: rel: %w", lineno, err)
+		}
+		switch rel {
+		case -1:
+			g.AddP2C(a, b)
+		case 0:
+			g.AddP2P(a, b)
+		default:
+			return nil, fmt.Errorf("asrel: line %d: unknown relationship %d", lineno, rel)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asrel: read: %w", err)
+	}
+	return g, nil
+}
+
+// Write serializes the graph in serial-1 format, deterministically
+// ordered.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# format: as1|as2|rel (-1: as1 provider of as2, 0: peers)")
+	type edge struct {
+		a, b asn.ASN
+		rel  int
+	}
+	var edges []edge
+	for p, cs := range g.customers {
+		for c := range cs {
+			edges = append(edges, edge{p, c, -1})
+		}
+	}
+	for a, ps := range g.peers {
+		for b := range ps {
+			if a < b {
+				edges = append(edges, edge{a, b, 0})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		if edges[i].b != edges[j].b {
+			return edges[i].b < edges[j].b
+		}
+		return edges[i].rel < edges[j].rel
+	})
+	for _, e := range edges {
+		fmt.Fprintf(bw, "%d|%d|%d\n", uint32(e.a), uint32(e.b), e.rel)
+	}
+	return bw.Flush()
+}

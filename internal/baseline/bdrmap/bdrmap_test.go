@@ -1,0 +1,111 @@
+package bdrmap
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/asrel"
+	"repro/internal/bgp"
+	"repro/internal/ip2as"
+	"repro/internal/ixp"
+	"repro/internal/traceroute"
+)
+
+// The scenario: VP network AS100 (space 1.0.0.0/24) with
+//   - customer AS200 (2.0.0.0/24) over a provider-numbered link,
+//   - firewalled customer AS300 (3.0.0.0/24) that drops probes past its
+//     border (which replies with a 100-space address),
+//   - a peer AS400 met at an IXP (11.0.0.0/24).
+func buildScenario(t *testing.T) ([]*traceroute.Trace, *ip2as.Resolver, *asrel.Graph) {
+	t.Helper()
+	routes, err := bgp.ReadRoutes(strings.NewReader(
+		"1.0.0.0/24|9 100\n2.0.0.0/24|9 200\n3.0.0.0/24|9 300\n4.0.0.0/24|9 400\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixps := ixp.NewSet()
+	ixps.Add(netip.MustParsePrefix("11.0.0.0/24"))
+	resolver := &ip2as.Resolver{Table: bgp.NewTable(routes), IXPs: ixps}
+	rels := asrel.New()
+	rels.AddP2C(100, 200)
+	rels.AddP2C(100, 300)
+	rels.AddP2P(100, 400)
+
+	mk := func(dst string, hops ...string) *traceroute.Trace {
+		tr := &traceroute.Trace{Dst: netip.MustParseAddr(dst), VP: "vp-100"}
+		for i, h := range hops {
+			reply := traceroute.TimeExceeded
+			if strings.HasSuffix(h, "/e") {
+				reply = traceroute.EchoReply
+				h = strings.TrimSuffix(h, "/e")
+			}
+			tr.Hops = append(tr.Hops, traceroute.Hop{
+				Addr: netip.MustParseAddr(h), ProbeTTL: uint8(i + 1), Reply: reply,
+			})
+		}
+		return tr
+	}
+	traces := []*traceroute.Trace{
+		// To the plain customer: internal 100 hops, then the customer's
+		// ingress (100-space on the provider-numbered link), then inside.
+		mk("2.0.0.99", "1.0.0.1", "1.0.0.2", "1.0.0.30", "2.0.0.1", "2.0.0.99/e"),
+		mk("2.0.0.98", "1.0.0.1", "1.0.0.2", "1.0.0.30", "2.0.0.2", "2.0.0.98/e"),
+		// To the firewalled customer: its border (100-space) is last.
+		mk("3.0.0.99", "1.0.0.1", "1.0.0.2", "1.0.0.34"),
+		mk("3.0.0.98", "1.0.0.1", "1.0.0.2", "1.0.0.34"),
+		// Across the IXP to the peer.
+		mk("4.0.0.99", "1.0.0.1", "1.0.0.2", "11.0.0.7", "4.0.0.1", "4.0.0.99/e"),
+	}
+	return traces, resolver, rels
+}
+
+func TestInternalRouters(t *testing.T) {
+	traces, resolver, rels := buildScenario(t)
+	res := Infer(traces, resolver, alias.NewSets(), rels, Options{VPAS: 100})
+	for _, a := range []string{"1.0.0.1", "1.0.0.2"} {
+		if got := res.OperatorOf(netip.MustParseAddr(a)); got != 100 {
+			t.Errorf("internal router %s = %v, want 100", a, got)
+		}
+	}
+}
+
+func TestCustomerBorderProviderAddressed(t *testing.T) {
+	traces, resolver, rels := buildScenario(t)
+	res := Infer(traces, resolver, alias.NewSets(), rels, Options{VPAS: 100})
+	// 1.0.0.30 is the customer's ingress: its onward hops are in 200.
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.30")); got != 200 {
+		t.Errorf("customer ingress = %v, want 200", got)
+	}
+}
+
+func TestFirewalledCustomer(t *testing.T) {
+	traces, resolver, rels := buildScenario(t)
+	res := Infer(traces, resolver, alias.NewSets(), rels, Options{VPAS: 100})
+	// 1.0.0.34 has no onward links; destinations identify AS300.
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.34")); got != 300 {
+		t.Errorf("firewalled border = %v, want 300", got)
+	}
+}
+
+func TestIXPPeer(t *testing.T) {
+	traces, resolver, rels := buildScenario(t)
+	res := Infer(traces, resolver, alias.NewSets(), rels, Options{VPAS: 100})
+	if got := res.OperatorOf(netip.MustParseAddr("11.0.0.7")); got != 400 {
+		t.Errorf("IXP peer router = %v, want 400", got)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	traces, resolver, rels := buildScenario(t)
+	res := Infer(traces, resolver, alias.NewSets(), rels, Options{VPAS: 100})
+	got := res.Neighbors()
+	want := map[uint32]bool{200: true, 300: true, 400: true}
+	for _, n := range got {
+		delete(want, uint32(n))
+	}
+	if len(want) != 0 {
+		t.Errorf("missing neighbors %v (got %v)", want, got)
+	}
+}

@@ -1,0 +1,131 @@
+package mapit
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/ip2as"
+	"repro/internal/traceroute"
+)
+
+func resolver(t *testing.T, ribs string) *ip2as.Resolver {
+	t.Helper()
+	routes, err := bgp.ReadRoutes(strings.NewReader(ribs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ip2as.Resolver{Table: bgp.NewTable(routes)}
+}
+
+func trace(hops ...string) *traceroute.Trace {
+	t := &traceroute.Trace{Dst: netip.MustParseAddr("9.9.9.9")}
+	for i, h := range hops {
+		t.Hops = append(t.Hops, traceroute.Hop{
+			Addr: netip.MustParseAddr(h), ProbeTTL: uint8(i + 1),
+			Reply: traceroute.TimeExceeded,
+		})
+	}
+	return t
+}
+
+const rib = "1.0.0.0/24|9 100\n2.0.0.0/24|9 200\n"
+
+// TestFarHalf: interface in A space followed by B internals is on B's
+// router (the in-addressed ingress of B's border).
+func TestFarHalf(t *testing.T) {
+	r := resolver(t, rib)
+	traces := []*traceroute.Trace{
+		trace("1.0.0.1", "1.0.0.9", "2.0.0.1", "2.0.0.2"),
+		trace("1.0.0.2", "1.0.0.9", "2.0.0.1", "2.0.0.3"),
+	}
+	res := Infer(traces, r, Options{})
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.9")); got != 200 {
+		t.Errorf("operator(1.0.0.9) = %v, want 200", got)
+	}
+	if got := res.ConnectedAS(netip.MustParseAddr("1.0.0.9")); got != 100 {
+		t.Errorf("farSide(1.0.0.9) = %v, want 100", got)
+	}
+	if got := res.OperatorOf(netip.MustParseAddr("2.0.0.1")); got != 200 {
+		t.Errorf("internal interface flipped: %v", got)
+	}
+}
+
+// TestNearHalf: an interface in A space whose predecessors sit on B's
+// routers (reverse-direction traffic into A) is A's border facing B.
+// The predecessor keeps its B identity because it also fans into B's
+// own space elsewhere.
+func TestNearHalf(t *testing.T) {
+	r := resolver(t, rib)
+	traces := []*traceroute.Trace{
+		trace("2.0.0.1", "2.0.0.2", "1.0.0.9", "1.0.0.1"),
+		trace("2.0.0.3", "2.0.0.2", "1.0.0.9", "1.0.0.4"),
+		// Anchor 2.0.0.2 inside B: it also forwards within B's space.
+		trace("2.0.0.6", "2.0.0.2", "2.0.0.5"),
+	}
+	res := Infer(traces, r, Options{})
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.9")); got != 100 {
+		t.Errorf("operator(1.0.0.9) = %v, want 100", got)
+	}
+	if got := res.ConnectedAS(netip.MustParseAddr("1.0.0.9")); got != 200 {
+		t.Errorf("farSide(1.0.0.9) = %v, want 200", got)
+	}
+}
+
+// TestFanOutGuard: an egress interface fanning into several ASes,
+// including its own, is never flipped.
+func TestFanOutGuard(t *testing.T) {
+	r := resolver(t, rib+"3.0.0.0/24|9 300\n")
+	traces := []*traceroute.Trace{
+		trace("1.0.0.9", "2.0.0.1"),
+		trace("1.0.0.9", "3.0.0.1"),
+		trace("1.0.0.9", "1.0.0.5"),
+	}
+	res := Infer(traces, r, Options{})
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.9")); got != 100 {
+		t.Errorf("fanning interface flipped to %v", got)
+	}
+}
+
+// TestLastHopBlindness documents MAP-IT's known gap: a customer border
+// using provider space with no subsequent hops is missed (the bdrmapIT
+// paper's core motivation for the §5 heuristic).
+func TestLastHopBlindness(t *testing.T) {
+	r := resolver(t, rib)
+	traces := []*traceroute.Trace{
+		trace("1.0.0.1", "1.0.0.2", "1.0.0.9"), // ends at customer border in A space
+	}
+	res := Infer(traces, r, Options{})
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.9")); got != 100 {
+		t.Errorf("MAP-IT should fall back to the origin, got %v", got)
+	}
+	if got := res.ConnectedAS(netip.MustParseAddr("1.0.0.9")); got != 0 {
+		t.Errorf("no link should be inferred, got %v", got)
+	}
+}
+
+func TestIterationsReported(t *testing.T) {
+	r := resolver(t, rib)
+	res := Infer([]*traceroute.Trace{trace("1.0.0.1", "2.0.0.1")}, r, Options{})
+	if res.Iterations < 1 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if got := res.InterdomainInterfaces(); len(got) == 0 {
+		t.Log("no interdomain interfaces on the tiny input (acceptable)")
+	}
+}
+
+func TestGapsDoNotLink(t *testing.T) {
+	r := resolver(t, rib)
+	tr := &traceroute.Trace{Dst: netip.MustParseAddr("9.9.9.9")}
+	tr.Hops = []traceroute.Hop{
+		{Addr: netip.MustParseAddr("1.0.0.9"), ProbeTTL: 1, Reply: traceroute.TimeExceeded},
+		{Addr: netip.MustParseAddr("2.0.0.1"), ProbeTTL: 3, Reply: traceroute.TimeExceeded},
+	}
+	res := Infer([]*traceroute.Trace{tr, tr}, r, Options{})
+	// MAP-IT bridges no gaps: no neighbour evidence, no flip.
+	if got := res.OperatorOf(netip.MustParseAddr("1.0.0.9")); got != 100 {
+		t.Errorf("gap created an inference: %v", got)
+	}
+}

@@ -1,0 +1,174 @@
+// Package collect implements the data-collection component of bdrmap
+// (paper §2): targeted traceroutes from a vantage point toward every
+// prefix routed in the Internet, with *reactive* probing — when a trace
+// might have found an off-path interface inside the target AS, or never
+// reached the target's address space at all, additional addresses
+// within the prefix are probed. Alias resolution (iffinder-style, then
+// MIDAR) runs over the addresses discovered during collection, so the
+// output bundle matches what bdrmap's inference stage (and bdrmapIT)
+// consumes.
+package collect
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/asn"
+	"repro/internal/ip2as"
+	"repro/internal/netutil"
+	"repro/internal/traceroute"
+)
+
+// Engine abstracts the probing substrate: a traceroute engine plus the
+// alias-resolution probers. The simulator's per-VP engine implements
+// it; a real deployment would wrap scamper.
+type Engine interface {
+	// Traceroute probes dst and returns the measurement (nil when the
+	// destination is unroutable).
+	Traceroute(dst netip.Addr) *traceroute.Trace
+	alias.IPIDProber
+	alias.UDPProber
+}
+
+// Options tunes the collection run.
+type Options struct {
+	// Resolver maps addresses to origin ASes (required).
+	Resolver *ip2as.Resolver
+	// MaxProbesPerPrefix caps the reactive re-probes of one prefix
+	// (default 3, matching bdrmap's conservative budget).
+	MaxProbesPerPrefix int
+	// SkipAliases disables the alias-resolution stage.
+	SkipAliases bool
+}
+
+func (o *Options) defaults() {
+	if o.MaxProbesPerPrefix <= 0 {
+		o.MaxProbesPerPrefix = 3
+	}
+}
+
+// Result is the collection output: the trace archive and the alias
+// sets resolved over the discovered addresses.
+type Result struct {
+	Traces  []*traceroute.Trace
+	Aliases *alias.Sets
+	// Reprobed counts prefixes that triggered reactive probing.
+	Reprobed int
+}
+
+// Run collects traceroutes toward every target prefix. For each prefix
+// the first probe goes to the first usable host address; a re-probe of
+// other addresses in the prefix is triggered when the trace never
+// showed an address originated by the prefix's own AS (the probe may
+// have died early, or the border may have replied off-path), as
+// bdrmap's reactive collection does.
+func Run(eng Engine, prefixes []netip.Prefix, opts Options) *Result {
+	opts.defaults()
+	res := &Result{Aliases: alias.NewSets()}
+	observed := make(map[netip.Addr]bool)
+
+	record := func(t *traceroute.Trace) {
+		if t == nil || len(t.Hops) == 0 {
+			return
+		}
+		res.Traces = append(res.Traces, t)
+		for _, h := range t.Hops {
+			if !netutil.IsSpecial(h.Addr) {
+				observed[h.Addr] = true
+			}
+		}
+	}
+
+	for _, p := range prefixes {
+		targetAS := asn.None
+		if opts.Resolver != nil {
+			targetAS = opts.Resolver.Lookup(p.Addr()).Origin
+		}
+		probes := probeAddrs(p, opts.MaxProbesPerPrefix)
+		if len(probes) == 0 {
+			continue
+		}
+		t := eng.Traceroute(probes[0])
+		record(t)
+		if !needsReprobe(t, targetAS, opts.Resolver) {
+			continue
+		}
+		res.Reprobed++
+		for _, dst := range probes[1:] {
+			t := eng.Traceroute(dst)
+			record(t)
+			if !needsReprobe(t, targetAS, opts.Resolver) {
+				break
+			}
+		}
+	}
+
+	if !opts.SkipAliases {
+		addrs := make([]netip.Addr, 0, len(observed))
+		for a := range observed {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+		res.Aliases = alias.Merge(
+			alias.MIDAR(eng, addrs, alias.MIDAROptions{}),
+			alias.Iffinder(eng, addrs))
+	}
+	return res
+}
+
+// needsReprobe decides whether a trace warrants probing another address
+// of the same prefix: the trace is empty, or no hop carried an address
+// originated by the target AS (either the probe died before the border,
+// or the border replied with an off-path address).
+func needsReprobe(t *traceroute.Trace, targetAS asn.ASN, resolver *ip2as.Resolver) bool {
+	if t == nil || len(t.Hops) == 0 {
+		return true
+	}
+	if targetAS == asn.None || resolver == nil {
+		return false // nothing to compare against
+	}
+	if t.ReachedDst() {
+		return false
+	}
+	for _, h := range t.Hops {
+		if resolver.Lookup(h.Addr).Origin == targetAS {
+			return false
+		}
+	}
+	return true
+}
+
+// probeAddrs yields up to max distinct host addresses spread across the
+// prefix (first, middle, last-ish), the probing pattern bdrmap uses to
+// hit different subnets of a target prefix.
+func probeAddrs(p netip.Prefix, max int) []netip.Addr {
+	a := p.Addr().Unmap()
+	if !a.Is4() {
+		// IPv6 prefixes: probe ::1 only (the simulator's v6 support
+		// routes on the prefix, not the host bits).
+		host := p.Addr().Next()
+		if p.Contains(host) {
+			return []netip.Addr{host}
+		}
+		return nil
+	}
+	size := netutil.PrefixSize(p)
+	if size <= 2 {
+		return []netip.Addr{a}
+	}
+	offsets := []uint32{1, uint32(size / 2), uint32(size - 2)}
+	var out []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	for _, off := range offsets {
+		if len(out) >= max {
+			break
+		}
+		addr := netutil.NthAddr(p, off)
+		if addr.IsValid() && !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,461 @@
+// Package core implements the bdrmapIT inference algorithm (Marder et
+// al., IMC 2018): constructing an annotated Inferred-Router graph from
+// traceroutes and alias resolution (§4), annotating last-hop routers
+// from destination-AS evidence (§5), and iteratively refining router and
+// interface annotations until a repeated state (§6).
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/asn"
+	"repro/internal/ip2as"
+	"repro/internal/netutil"
+	"repro/internal/traceroute"
+)
+
+// LinkLabel is the confidence class of an IR→interface link (paper
+// §4.2, Table 3). Nexthop links are the most reliable and dominate the
+// voting; Echo and Multihop links are consulted only when no better
+// label exists for an IR.
+type LinkLabel uint8
+
+const (
+	// LabelMultihop: hops separated by unresponsive/private hops with
+	// different origin ASes.
+	LabelMultihop LinkLabel = iota
+	// LabelEcho: adjacent hops where the subsequent hop replied with an
+	// ICMP Echo Reply.
+	LabelEcho
+	// LabelNexthop: same origin AS, or adjacent hops with a
+	// Time Exceeded / Destination Unreachable reply.
+	LabelNexthop
+)
+
+// String returns the paper's one-letter label name.
+func (l LinkLabel) String() string {
+	switch l {
+	case LabelNexthop:
+		return "N"
+	case LabelEcho:
+		return "E"
+	default:
+		return "M"
+	}
+}
+
+// Interface is one observed traceroute interface (an IP address) and its
+// static metadata plus its dynamic AS annotation. The annotation
+// represents the AS on the other side of the interface's link (paper
+// Fig. 3).
+type Interface struct {
+	Addr   netip.Addr
+	Origin asn.ASN    // origin AS of the address (asn.None if unannounced/IXP)
+	Kind   ip2as.Kind // which source resolved the address
+	Router *Router    // owning IR
+
+	// Annotation is the AS inferred to be connected to this interface.
+	Annotation asn.ASN
+
+	// DestASes are the origin ASes of destinations of traceroutes in
+	// which this interface replied (paper §4.4), before reallocated-
+	// prefix cleanup.
+	DestASes asn.Set
+
+	// InLinks are the links pointing at this interface, used by the
+	// interface-annotation vote (§6.2).
+	InLinks []*Link
+
+	// EchoOnly is true when the interface was only ever seen replying
+	// with ICMP Echo Reply; such interfaces are excluded from recall
+	// computations (§7.2).
+	EchoOnly bool
+}
+
+// Link is an inferred connection from an IR to a subsequent interface
+// (paper Fig. 2).
+type Link struct {
+	From *Router
+	To   *Interface
+	// Label is the highest-confidence label observed for this link.
+	Label LinkLabel
+	// Prev maps each of From's interface addresses seen immediately
+	// prior to To in a traceroute to that interface's origin AS; its
+	// value set is the link origin-AS set L(IRi,j) (§4.3), and its key
+	// count drives the interface-annotation vote weight (§6.2).
+	Prev map[netip.Addr]asn.ASN
+	// DestASes are the destination origin ASes of traceroutes that
+	// crossed this link, consulted by the third-party test (§6.1.1).
+	DestASes asn.Set
+}
+
+// OriginSet returns L(IRi,j): the origin ASes of From's interfaces seen
+// immediately prior to To, sorted. Unannounced origins are omitted.
+func (l *Link) OriginSet() asn.Set {
+	s := asn.NewSet()
+	for _, o := range l.Prev {
+		if o != asn.None {
+			s.Add(o)
+		}
+	}
+	return s
+}
+
+// Router is an inferred router (IR): a set of aliased interfaces, its
+// outgoing links, and its static metadata plus dynamic AS annotation.
+type Router struct {
+	ID         int
+	Interfaces []*Interface
+	// Links maps subsequent interface address → link.
+	Links map[netip.Addr]*Link
+
+	// OriginSet is the union of the IR's interface origin ASes (§4.3).
+	OriginSet asn.Set
+	// DestASes is the aggregated destination-AS set after reallocated-
+	// prefix cleanup (§4.4).
+	DestASes asn.Set
+
+	// Annotation is the AS inferred to operate this router.
+	Annotation asn.ASN
+	// LastHop marks routers without outgoing links; they are annotated
+	// in phase 2 and never revisited (§3.3).
+	LastHop bool
+}
+
+// SortedLinks returns the router's links ordered by subsequent interface
+// address, for deterministic iteration.
+func (r *Router) SortedLinks() []*Link {
+	out := make([]*Link, 0, len(r.Links))
+	for _, l := range r.Links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To.Addr.Less(out[j].To.Addr) })
+	return out
+}
+
+// Graph is the annotated IR graph (phase 1 output).
+type Graph struct {
+	Interfaces map[netip.Addr]*Interface
+	Routers    []*Router
+
+	// sortedAddrs fixes a deterministic interface order for state
+	// hashing and iteration.
+	sortedAddrs []netip.Addr
+
+	// Stats accumulates dataset statistics reported in the paper.
+	Stats GraphStats
+}
+
+// GraphStats tallies the dataset statistics the paper reports (§4.2,
+// §5).
+type GraphStats struct {
+	Traces          int
+	LinksNexthop    int // distinct links whose best label is N
+	LinksEcho       int
+	LinksMultihop   int
+	IRsWithLinks    int
+	IRsEchoOnlyLink int // IRs with E links but no N links
+	LastHopIRs      int
+	LastHopEmptyDst int // last-hop IRs with an empty destination AS set
+}
+
+// Builder constructs the IR graph incrementally from traceroutes
+// (paper §4). Feed traces with AddTrace, then call Finish.
+type Builder struct {
+	resolver *ip2as.Resolver
+	aliases  *alias.Sets
+
+	ifaces  map[netip.Addr]*Interface
+	routers map[int]*Router // alias group id → router
+	nextID  int
+	byIface map[netip.Addr]*Router // singleton routers
+	traces  int
+}
+
+// NewBuilder returns a Builder resolving addresses through resolver and
+// grouping interfaces through aliases (nil aliases → every interface is
+// its own IR, paper §7.4).
+func NewBuilder(resolver *ip2as.Resolver, aliases *alias.Sets) *Builder {
+	return &Builder{
+		resolver: resolver,
+		aliases:  aliases,
+		ifaces:   make(map[netip.Addr]*Interface),
+		routers:  make(map[int]*Router),
+		byIface:  make(map[netip.Addr]*Router),
+	}
+}
+
+func (b *Builder) routerFor(addr netip.Addr) *Router {
+	if b.aliases != nil {
+		if g, ok := b.aliases.GroupOf(addr); ok {
+			r, ok := b.routers[g]
+			if !ok {
+				r = b.newRouter()
+				b.routers[g] = r
+			}
+			return r
+		}
+	}
+	r, ok := b.byIface[addr]
+	if !ok {
+		r = b.newRouter()
+		b.byIface[addr] = r
+	}
+	return r
+}
+
+func (b *Builder) newRouter() *Router {
+	r := &Router{
+		ID:        b.nextID,
+		Links:     make(map[netip.Addr]*Link),
+		OriginSet: asn.NewSet(),
+		DestASes:  asn.NewSet(),
+	}
+	b.nextID++
+	return r
+}
+
+func (b *Builder) iface(addr netip.Addr) *Interface {
+	i, ok := b.ifaces[addr]
+	if !ok {
+		res := b.resolver.Lookup(addr)
+		i = &Interface{
+			Addr:     addr,
+			Origin:   res.Origin,
+			Kind:     res.Kind,
+			DestASes: asn.NewSet(),
+			EchoOnly: true,
+		}
+		i.Router = b.routerFor(addr)
+		i.Router.Interfaces = append(i.Router.Interfaces, i)
+		if i.Origin != asn.None && i.Kind != ip2as.IXP {
+			i.Router.OriginSet.Add(i.Origin)
+		}
+		b.ifaces[addr] = i
+	}
+	return i
+}
+
+// AddTrace incorporates one traceroute into the graph: interfaces for
+// each responsive hop, a link from each IR to the first interface seen
+// subsequently (with a confidence label per §4.2 and the origin-AS set
+// per §4.3), and destination-AS bookkeeping per §4.4.
+func (b *Builder) AddTrace(t *traceroute.Trace) {
+	b.traces++
+	hops := cleanHops(t.Hops)
+	if len(hops) == 0 {
+		return
+	}
+	dstAS := b.resolver.Lookup(t.Dst).Origin
+
+	for idx := range hops {
+		h := &hops[idx]
+		i := b.iface(h.Addr)
+		if h.Reply != traceroute.EchoReply {
+			i.EchoOnly = false
+		}
+		// Destination-AS recording (§4.4): every replying interface,
+		// except the last hop of a trace ending in an Echo Reply.
+		last := idx == len(hops)-1
+		if dstAS != asn.None && !(last && h.Reply == traceroute.EchoReply) {
+			i.DestASes.Add(dstAS)
+		}
+	}
+
+	for idx := 0; idx+1 < len(hops); idx++ {
+		a, c := &hops[idx], &hops[idx+1]
+		if a.Addr == c.Addr {
+			continue
+		}
+		ai := b.ifaces[a.Addr]
+		ci := b.ifaces[c.Addr]
+		if ai.Router == ci.Router {
+			continue // both interfaces aliased onto the same IR
+		}
+		dist := int(c.ProbeTTL) - int(a.ProbeTTL)
+		label := classifyLink(ai, ci, c.Reply, dist)
+		l, ok := ai.Router.Links[c.Addr]
+		if !ok {
+			l = &Link{
+				From:     ai.Router,
+				To:       ci,
+				Label:    label,
+				Prev:     make(map[netip.Addr]asn.ASN, 1),
+				DestASes: asn.NewSet(),
+			}
+			ai.Router.Links[c.Addr] = l
+			ci.InLinks = append(ci.InLinks, l)
+		} else if label > l.Label {
+			l.Label = label
+		}
+		l.Prev[a.Addr] = ai.Origin
+		if dstAS != asn.None {
+			l.DestASes.Add(dstAS)
+		}
+	}
+}
+
+// classifyLink assigns the §4.2 confidence label for one observation of
+// the link a→c.
+func classifyLink(a, c *Interface, reply traceroute.ReplyType, dist int) LinkLabel {
+	sameOrigin := a.Origin != asn.None && a.Origin == c.Origin
+	if reply == traceroute.EchoReply {
+		if dist <= 1 || sameOrigin {
+			return LabelEcho
+		}
+		return LabelMultihop
+	}
+	if sameOrigin || dist <= 1 {
+		return LabelNexthop
+	}
+	return LabelMultihop
+}
+
+// cleanHops removes hops with private/special addresses (treated as
+// unresponsive, per §4.2) and truncates at forwarding loops.
+func cleanHops(hops []traceroute.Hop) []traceroute.Hop {
+	out := make([]traceroute.Hop, 0, len(hops))
+	seen := make(map[netip.Addr]bool, len(hops))
+	for _, h := range hops {
+		if netutil.IsSpecial(h.Addr) {
+			continue
+		}
+		if seen[h.Addr] {
+			// Allow immediate repetition (same router answering twice in
+			// a row via per-TTL retries); a non-adjacent repeat is a loop.
+			if len(out) > 0 && out[len(out)-1].Addr == h.Addr {
+				continue
+			}
+			break
+		}
+		seen[h.Addr] = true
+		out = append(out, h)
+	}
+	return out
+}
+
+// Finish completes phase 1: reallocated-prefix cleanup of destination-AS
+// sets (§4.4), IR destination-set aggregation, last-hop marking, initial
+// interface annotations (§6), and statistics. The Builder must not be
+// used afterwards.
+func (b *Builder) Finish(rels RelationshipOracle) *Graph {
+	g := &Graph{Interfaces: b.ifaces}
+	g.Stats.Traces = b.traces
+
+	// Deterministic router order: by smallest interface address.
+	routerSet := make(map[*Router]bool)
+	for _, i := range b.ifaces {
+		routerSet[i.Router] = true
+	}
+	g.Routers = make([]*Router, 0, len(routerSet))
+	for r := range routerSet {
+		sort.Slice(r.Interfaces, func(a, b int) bool {
+			return r.Interfaces[a].Addr.Less(r.Interfaces[b].Addr)
+		})
+		g.Routers = append(g.Routers, r)
+	}
+	sort.Slice(g.Routers, func(i, j int) bool {
+		return g.Routers[i].Interfaces[0].Addr.Less(g.Routers[j].Interfaces[0].Addr)
+	})
+	for id, r := range g.Routers {
+		r.ID = id
+	}
+
+	g.sortedAddrs = make([]netip.Addr, 0, len(b.ifaces))
+	for a := range b.ifaces {
+		g.sortedAddrs = append(g.sortedAddrs, a)
+	}
+	sort.Slice(g.sortedAddrs, func(i, j int) bool {
+		return g.sortedAddrs[i].Less(g.sortedAddrs[j])
+	})
+
+	for _, r := range g.Routers {
+		// §4.4: per-interface reallocated-prefix cleanup, then aggregate.
+		for _, i := range r.Interfaces {
+			dests := i.DestASes
+			if dests.Len() == 2 && rels != nil {
+				cleanReallocatedDest(i, rels)
+			}
+			r.DestASes.AddAll(dests)
+		}
+		if len(r.Links) == 0 {
+			r.LastHop = true
+			g.Stats.LastHopIRs++
+			if r.DestASes.Len() == 0 {
+				g.Stats.LastHopEmptyDst++
+			}
+		} else {
+			g.Stats.IRsWithLinks++
+			hasN, hasE := false, false
+			for _, l := range r.Links {
+				switch l.Label {
+				case LabelNexthop:
+					hasN = true
+					g.Stats.LinksNexthop++
+				case LabelEcho:
+					hasE = true
+					g.Stats.LinksEcho++
+				default:
+					g.Stats.LinksMultihop++
+				}
+			}
+			if hasE && !hasN {
+				g.Stats.IRsEchoOnlyLink++
+			}
+		}
+		// Initial interface annotations: the origin AS (§6).
+		for _, i := range r.Interfaces {
+			i.Annotation = i.Origin
+		}
+	}
+	return g
+}
+
+// RelationshipOracle is the subset of asrel.Graph the core algorithm
+// consumes; the indirection keeps core testable with table-driven fakes.
+type RelationshipOracle interface {
+	HasRelationship(a, b asn.ASN) bool
+	IsProvider(p, c asn.ASN) bool
+	IsPeer(a, b asn.ASN) bool
+	Providers(a asn.ASN) asn.Set
+	Customers(a asn.ASN) asn.Set
+	Peers(a asn.ASN) asn.Set
+	ConeSize(a asn.ASN) int
+	CustomerCone(a asn.ASN) asn.Set
+	SmallestCone(candidates []asn.ASN) asn.ASN
+	LargestCone(candidates []asn.ASN) asn.ASN
+}
+
+// cleanReallocatedDest applies the §4.4 reallocated-prefix test to one
+// interface with exactly two destination ASes: when one AS matches the
+// interface origin, the other has a customer cone of at most five ASes,
+// and the two share no BGP-observable relationship, the AS with the
+// larger cone is inferred to be the reallocating provider and removed.
+func cleanReallocatedDest(i *Interface, rels RelationshipOracle) {
+	ds := i.DestASes.Sorted()
+	a, b := ds[0], ds[1]
+	var other asn.ASN
+	switch i.Origin {
+	case a:
+		other = b
+	case b:
+		other = a
+	default:
+		return
+	}
+	if rels.ConeSize(other) > 5 {
+		return
+	}
+	if rels.HasRelationship(i.Origin, other) {
+		return
+	}
+	// Remove the reallocating provider: the destination AS with the
+	// larger cone.
+	drop := i.Origin
+	if rels.ConeSize(other) > rels.ConeSize(i.Origin) {
+		drop = other
+	}
+	delete(i.DestASes, drop)
+}

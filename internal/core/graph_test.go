@@ -1,0 +1,271 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/traceroute"
+)
+
+// TestLinkLabelsFig4 reproduces the paper's Fig. 4: a trace with hops at
+// TTLs 1, 2, 4, 7, 8 where the TTL-8 hop answers with an Echo Reply.
+//
+//	hop  1      2      4       7       8
+//	addr a      b      c1      c2      d
+//	AS   A=100  B=200  C=300   C=300   D=400
+//
+// Expected labels: IR1→b N (adjacent), IR2→c1 M (gap, different
+// origins), IR4→c2 N (gap but same origin), IR7→d E (echo reply).
+func TestLinkLabelsFig4(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100) // a
+	e.announce("2.0.0.0/24", 200) // b
+	e.announce("3.0.0.0/24", 300) // c1, c2
+	e.announce("4.0.0.0/24", 400) // d
+	e.trace("4.0.0.99",
+		"1.0.0.1", "2.0.0.1", "*", "3.0.0.1", "*", "*", "3.0.0.2", "4.0.0.1/e")
+	g := e.graph()
+
+	labelOf := func(from, to string) LinkLabel {
+		t.Helper()
+		r := iface(t, g, from).Router
+		l, ok := r.Links[netip.MustParseAddr(to)]
+		if !ok {
+			t.Fatalf("no link %s→%s", from, to)
+		}
+		return l.Label
+	}
+	if got := labelOf("1.0.0.1", "2.0.0.1"); got != LabelNexthop {
+		t.Errorf("a→b = %v, want N", got)
+	}
+	if got := labelOf("2.0.0.1", "3.0.0.1"); got != LabelMultihop {
+		t.Errorf("b→c1 = %v, want M", got)
+	}
+	if got := labelOf("3.0.0.1", "3.0.0.2"); got != LabelNexthop {
+		t.Errorf("c1→c2 = %v, want N (same origin)", got)
+	}
+	if got := labelOf("3.0.0.2", "4.0.0.1"); got != LabelEcho {
+		t.Errorf("c2→d = %v, want E", got)
+	}
+}
+
+func TestLinkLabelUpgrade(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("2.0.0.0/24", 200)
+	// First observation across a gap (M), then adjacent (N): the link
+	// keeps the highest-confidence label.
+	e.trace("9.9.9.9", "1.0.0.1", "*", "2.0.0.1")
+	e.trace("9.9.9.9", "1.0.0.1", "2.0.0.1")
+	g := e.graph()
+	r := iface(t, g, "1.0.0.1").Router
+	l := r.Links[netip.MustParseAddr("2.0.0.1")]
+	if l.Label != LabelNexthop {
+		t.Errorf("label = %v, want upgraded N", l.Label)
+	}
+}
+
+// TestLinkOriginSetsFig5 reproduces Fig. 2/Fig. 5: IR1 has interfaces a1
+// and a2 (and alias c); the link origin set of (IR1, b1) is {A} while
+// (IR1, b2) is {A, C}.
+func TestLinkOriginSetsFig5(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100) // a1, a2 (ASA)
+	e.announce("3.0.0.0/24", 300) // c (ASC)
+	e.announce("2.0.0.0/24", 200) // b1, b2 (ASB)
+	// a1, a2, c are aliases of IR1.
+	e.aliases.Add(
+		netip.MustParseAddr("1.0.0.1"),
+		netip.MustParseAddr("1.0.0.2"),
+		netip.MustParseAddr("3.0.0.1"))
+	e.trace("9.0.0.1", "1.0.0.1", "2.0.0.1") // path 1: a1 b1
+	e.trace("9.0.0.2", "1.0.0.2", "2.0.0.2") // path 2: a2 b2
+	e.trace("9.0.0.3", "3.0.0.1", "2.0.0.2") // path 3: c b2
+	g := e.graph()
+
+	r := iface(t, g, "1.0.0.1").Router
+	if len(r.Interfaces) != 3 {
+		t.Fatalf("IR1 has %d interfaces, want 3 (aliases)", len(r.Interfaces))
+	}
+	l1 := r.Links[netip.MustParseAddr("2.0.0.1")]
+	if s := l1.OriginSet(); !s.Equal(asn.NewSet(100)) {
+		t.Errorf("L(IR1,b1) = %v, want {100}", s.Sorted())
+	}
+	l2 := r.Links[netip.MustParseAddr("2.0.0.2")]
+	if s := l2.OriginSet(); !s.Equal(asn.NewSet(100, 300)) {
+		t.Errorf("L(IR1,b2) = %v, want {100, 300}", s.Sorted())
+	}
+}
+
+// TestDestASRecordingFig6 checks destination-AS bookkeeping, including
+// the echo-reply exception for the last hop.
+func TestDestASRecordingFig6(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("2.0.0.0/24", 200)
+	e.announce("4.0.0.0/24", 400) // destination AS D
+	e.trace("4.0.0.50", "1.0.0.1", "2.0.0.1", "2.0.0.9")
+	g := e.graph()
+	for _, addr := range []string{"1.0.0.1", "2.0.0.1", "2.0.0.9"} {
+		if !iface(t, g, addr).DestASes.Has(400) {
+			t.Errorf("dest AS 400 missing on %s", addr)
+		}
+	}
+
+	// A trace ending in an Echo Reply must not record the destination
+	// on its final interface.
+	e2 := newEnv(t)
+	e2.announce("1.0.0.0/24", 100)
+	e2.announce("4.0.0.0/24", 400)
+	e2.trace("4.0.0.1", "1.0.0.1", "4.0.0.1/e")
+	g2 := e2.graph()
+	if iface(t, g2, "4.0.0.1").DestASes.Len() != 0 {
+		t.Error("echo-reply final hop recorded a destination AS")
+	}
+	if !iface(t, g2, "1.0.0.1").DestASes.Has(400) {
+		t.Error("mid hop lost its destination AS")
+	}
+}
+
+func TestEchoOnlyFlag(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("4.0.0.0/24", 400)
+	e.trace("4.0.0.1", "1.0.0.1", "4.0.0.1/e")
+	e.trace("9.9.9.9", "1.0.0.1")
+	g := e.graph()
+	if iface(t, g, "1.0.0.1").EchoOnly {
+		t.Error("TE-replying interface marked echo-only")
+	}
+	if !iface(t, g, "4.0.0.1").EchoOnly {
+		t.Error("echo-only interface not marked")
+	}
+}
+
+func TestCleanHopsSpecialAndLoops(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("2.0.0.0/24", 200)
+	// Private hop in the middle acts as unresponsive; loop truncates.
+	e.trace("9.9.9.9", "1.0.0.1", "10.0.0.1", "2.0.0.1", "1.0.0.1", "2.0.0.9")
+	g := e.graph()
+	if _, ok := g.Interfaces[netip.MustParseAddr("10.0.0.1")]; ok {
+		t.Error("private address became an interface")
+	}
+	if _, ok := g.Interfaces[netip.MustParseAddr("2.0.0.9")]; ok {
+		t.Error("post-loop hop retained")
+	}
+	// Gap over the private hop still links 1.0.0.1 → 2.0.0.1.
+	r := iface(t, g, "1.0.0.1").Router
+	if _, ok := r.Links[netip.MustParseAddr("2.0.0.1")]; !ok {
+		t.Error("link across private hop missing")
+	}
+}
+
+func TestLastHopMarking(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("2.0.0.0/24", 200)
+	e.trace("9.9.9.9", "1.0.0.1", "2.0.0.1")
+	g := e.graph()
+	if iface(t, g, "1.0.0.1").Router.LastHop {
+		t.Error("mid router marked last-hop")
+	}
+	if !iface(t, g, "2.0.0.1").Router.LastHop {
+		t.Error("final router not marked last-hop")
+	}
+	if g.Stats.LastHopIRs != 1 || g.Stats.IRsWithLinks != 1 {
+		t.Errorf("stats: %+v", g.Stats)
+	}
+}
+
+// TestReallocatedDestCleanup checks §4.4: an interface with exactly two
+// destination ASes, one matching its origin, the other a small-cone AS
+// with no BGP relationship, drops the larger-cone (reallocating
+// provider) AS.
+func TestReallocatedDestCleanup(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100) // provider P space (the interface)
+	e.announce("5.0.0.0/24", 500) // customer C's announced prefix
+	e.announce("6.0.0.0/24", 600) // P's other dest space
+	// Give P a real cone > 5 so it is "the larger" and C cone 1.
+	for c := uint32(700); c < 707; c++ {
+		e.rels.AddP2C(100, asn.ASN(c))
+	}
+	// No relationship between 100 and 500 in the graph.
+	// Interface 1.0.0.50 (origin 100) crossed by traces to C (500) and
+	// to P-covered space (origin 100 itself).
+	e.trace("5.0.0.9", "1.0.0.50", "5.0.0.1")
+	e.trace("1.0.0.200", "1.0.0.50", "1.0.0.201")
+	g := e.graph()
+	i := iface(t, g, "1.0.0.50")
+	if i.DestASes.Has(100) {
+		t.Errorf("reallocating provider not removed: %v", i.DestASes.Sorted())
+	}
+	if !i.DestASes.Has(500) {
+		t.Errorf("customer lost: %v", i.DestASes.Sorted())
+	}
+}
+
+func TestReallocCleanupRequiresNoRelationship(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("5.0.0.0/24", 500)
+	e.rels.AddP2C(100, 500) // relationship IS visible → keep both
+	e.trace("5.0.0.9", "1.0.0.50", "5.0.0.1")
+	e.trace("1.0.0.200", "1.0.0.50", "1.0.0.201")
+	g := e.graph()
+	i := iface(t, g, "1.0.0.50")
+	if !i.DestASes.Has(100) || !i.DestASes.Has(500) {
+		t.Errorf("visible relationship should keep both dests: %v", i.DestASes.Sorted())
+	}
+}
+
+func TestNoAliasesSeparateIRs(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.trace("9.9.9.9", "1.0.0.1", "1.0.0.2")
+	g := e.graph()
+	if iface(t, g, "1.0.0.1").Router == iface(t, g, "1.0.0.2").Router {
+		t.Error("without aliases every interface is its own IR")
+	}
+}
+
+func TestSameRouterAdjacentHopsNoSelfLink(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.aliases.Add(netip.MustParseAddr("1.0.0.1"), netip.MustParseAddr("1.0.0.2"))
+	e.trace("9.9.9.9", "1.0.0.1", "1.0.0.2")
+	g := e.graph()
+	r := iface(t, g, "1.0.0.1").Router
+	if len(r.Links) != 0 {
+		t.Error("aliased adjacent hops created a self link")
+	}
+}
+
+func TestBuilderStatsCounts(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("2.0.0.0/24", 200)
+	e.trace("9.9.9.9", "1.0.0.1", "2.0.0.1")
+	e.trace("9.9.9.8", "1.0.0.1", "2.0.0.1")
+	g := e.graph()
+	if g.Stats.Traces != 2 {
+		t.Errorf("traces = %d", g.Stats.Traces)
+	}
+	if g.Stats.LinksNexthop != 1 {
+		t.Errorf("nexthop links = %d", g.Stats.LinksNexthop)
+	}
+}
+
+func TestTraceWithOnlySpecialHops(t *testing.T) {
+	e := newEnv(t)
+	e.trace("9.9.9.9", "10.0.0.1", "192.168.1.1")
+	g := e.graph()
+	if len(g.Interfaces) != 0 || len(g.Routers) != 0 {
+		t.Errorf("special-only trace built graph: %d ifaces", len(g.Interfaces))
+	}
+}
+
+var _ = traceroute.Trace{} // keep the import referenced in all builds

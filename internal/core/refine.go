@@ -1,0 +1,541 @@
+package core
+
+import (
+	"hash/fnv"
+	"net/netip"
+
+	"repro/internal/asn"
+	"repro/internal/ip2as"
+	"repro/internal/netutil"
+)
+
+// Options controls the inference run. The Disable* switches exist for
+// the ablation benchmarks; all heuristics are enabled by default.
+type Options struct {
+	// MaxIterations caps the refinement loop (default 50); the loop
+	// normally exits earlier on a repeated state (§6.3).
+	MaxIterations int
+	// DisableLastHopDest ablates the §5.2 destination-AS last-hop
+	// heuristic (last hops then fall back to origin-set reasoning).
+	DisableLastHopDest bool
+	// DisableThirdParty ablates the §6.1.1 third-party address test.
+	DisableThirdParty bool
+	// DisableRealloc ablates the §6.1.2 reallocated-prefix correction.
+	DisableRealloc bool
+	// DisableExceptions ablates the §6.1.3 voting exceptions.
+	DisableExceptions bool
+	// DisableHiddenAS ablates the §6.1.5 hidden-AS check.
+	DisableHiddenAS bool
+	// DisableDestTieBreak ablates an extension to the §6.1.4 tie-break:
+	// before falling back to the smallest customer cone, a vote tie is
+	// broken toward the AS whose customer cone covers the most of the
+	// IR's destination ASes — the same signal Algorithm 1 (line 6) uses
+	// for last hops. It resolves single-link peer routers that a lone
+	// vantage point cannot disambiguate (cf. Fig. 14, which needs
+	// multiple in-links to self-correct).
+	DisableDestTieBreak bool
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 50
+	}
+}
+
+// Run executes phases 2 and 3 over a constructed graph: last-hop
+// annotation (§5) followed by the graph-refinement loop (§6), stopping
+// at a repeated annotation state or the iteration cap.
+func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
+	opts.setDefaults()
+	annotateLastHops(g, rels, opts)
+
+	seen := make(map[uint64]int)
+	res := &Result{Graph: g}
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		res.Iterations = iter
+		for _, r := range g.Routers {
+			if r.LastHop {
+				continue
+			}
+			r.Annotation = annotateRouter(r, rels, opts)
+		}
+		for _, addr := range g.sortedAddrs {
+			annotateInterface(g.Interfaces[addr], rels)
+		}
+		h := g.stateHash()
+		if _, repeated := seen[h]; repeated {
+			res.Converged = true
+			break
+		}
+		seen[h] = iter
+	}
+	return res
+}
+
+// selectLinks returns the IR's links of the highest available confidence
+// class: Nexthop links when any exist, otherwise Echo, otherwise
+// Multihop (§4.2, §6.1.1).
+func selectLinks(r *Router) []*Link {
+	links := r.SortedLinks()
+	best := LabelMultihop
+	for _, l := range links {
+		if l.Label > best {
+			best = l.Label
+		}
+	}
+	out := links[:0:0]
+	for _, l := range links {
+		if l.Label == best {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// annotateRouter implements Algorithm 2 (§6.1): link votes with the
+// Algorithm 3 heuristics, reallocated-prefix correction, interface
+// votes, exception checks, the relationship-restricted election, and
+// the hidden-AS check.
+func annotateRouter(r *Router, rels RelationshipOracle, opts Options) asn.ASN {
+	votes := make(asn.Counter)
+	m := make(map[asn.ASN]asn.Set) // vote AS → link origin ASes backing it
+	linkVote := make(map[*Link]asn.ASN)
+
+	links := selectLinks(r)
+	for _, l := range links {
+		a := linkHeuristics(l, rels, opts)
+		if a == asn.None {
+			continue
+		}
+		votes.Inc(a, 1)
+		s, ok := m[a]
+		if !ok {
+			s = asn.NewSet()
+			m[a] = s
+		}
+		s.AddAll(l.OriginSet())
+		linkVote[l] = a
+	}
+
+	if !opts.DisableRealloc {
+		fixReallocatedVotes(r, links, linkVote, votes, m, rels)
+	}
+
+	// Alg. 2 line 9: each IR interface votes with its origin AS.
+	for _, i := range r.Interfaces {
+		if i.Origin != asn.None {
+			votes.Inc(i.Origin, 1)
+		}
+	}
+
+	if !opts.DisableExceptions {
+		if a, ok := exceptionCases(r, linkVote, votes, rels); ok {
+			return a
+		}
+	}
+
+	if len(votes) == 0 {
+		// Nothing to vote with (all interfaces and neighbours
+		// unannounced); keep the previous annotation so propagated
+		// annotations survive (§6.1.1 unannounced-address chains).
+		return r.Annotation
+	}
+
+	// Alg. 2 lines 11–12: restrict the election to origin ASes plus
+	// subsequent ASes with a relationship to an origin on their links.
+	restricted := r.OriginSet.Clone()
+	grew := false
+	for v := range votes {
+		if r.OriginSet.Has(v) {
+			continue
+		}
+		for o := range m[v] {
+			if rels.HasRelationship(o, v) {
+				restricted.Add(v)
+				grew = true
+				break
+			}
+		}
+	}
+	if grew {
+		if w := electFrom(r, votes, restricted, rels, opts); w != asn.None {
+			return w
+		}
+	}
+
+	// Alg. 2 lines 13–14: unrestricted election, then hidden-AS check.
+	top, _ := votes.Max()
+	a := breakTie(r, top, rels, opts)
+	if opts.DisableHiddenAS || a == asn.None {
+		return a
+	}
+	return hiddenAS(r, a, m[a], rels)
+}
+
+// electFrom picks the AS with the most votes among the allowed set.
+// asn.None when no allowed AS has votes.
+func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options) asn.ASN {
+	best := 0
+	for v, n := range votes {
+		if allowed.Has(v) && n > best {
+			best = n
+		}
+	}
+	if best == 0 {
+		return asn.None
+	}
+	var tied []asn.ASN
+	for v, n := range votes {
+		if allowed.Has(v) && n == best {
+			tied = append(tied, v)
+		}
+	}
+	return breakTie(r, tied, rels, opts)
+}
+
+// breakTie resolves a vote tie: first (unless ablated) toward the AS
+// whose customer cone covers the most of the IR's destination ASes,
+// then toward the smallest customer cone (§6.1.4: "the most likely
+// customer AS").
+func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options) asn.ASN {
+	if len(tied) <= 1 {
+		return rels.SmallestCone(tied)
+	}
+	if !opts.DisableDestTieBreak && r.DestASes.Len() > 0 {
+		// Restrict to candidates whose customer cone accounts for every
+		// destination probed through the router: on edge routers the
+		// destinations concentrate inside the true operator's cone,
+		// while on transit routers (global destination sets) no
+		// candidate qualifies and the rule stays silent.
+		var full []asn.ASN
+		for _, v := range tied {
+			cone := rels.CustomerCone(v)
+			all := true
+			for d := range r.DestASes {
+				if !cone.Has(d) {
+					all = false
+					break
+				}
+			}
+			if all {
+				full = append(full, v)
+			}
+		}
+		if len(full) > 0 {
+			tied = full
+		} else if r.DestASes.Len() <= 10 {
+			// Small (edge) destination sets: a unique best-coverage
+			// candidate still identifies the operator even when one
+			// destination escapes its visible cone. Large destination
+			// sets stay with the paper's smallest-cone rule — there,
+			// coverage only measures cone size.
+			best, bestCover := []asn.ASN(nil), 0
+			for _, v := range tied {
+				cone := rels.CustomerCone(v)
+				cover := 0
+				for d := range r.DestASes {
+					if cone.Has(d) {
+						cover++
+					}
+				}
+				switch {
+				case cover > bestCover:
+					best, bestCover = []asn.ASN{v}, cover
+				case cover == bestCover && cover > 0:
+					best = append(best, v)
+				}
+			}
+			if len(best) == 1 {
+				return best[0]
+			}
+		}
+	}
+	return rels.SmallestCone(tied)
+}
+
+// linkHeuristics implements Algorithm 3 (§6.1.1): the vote contributed
+// by one link, with special cases for IXP addresses, unannounced
+// addresses, and third-party addresses.
+func linkHeuristics(l *Link, rels RelationshipOracle, opts Options) asn.ASN {
+	j := l.To
+	origins := l.OriginSet()
+
+	// Line 1: subsequent origin already among the link's origins.
+	if j.Origin != asn.None && origins.Has(j.Origin) {
+		return j.Origin
+	}
+	// Line 2: IXP public peering address → the likely transit provider:
+	// the link origin AS with the largest customer cone (valley-free
+	// reasoning, §6.1.1).
+	if j.Kind == ip2as.IXP {
+		return rels.LargestCone(origins.Sorted())
+	}
+	asj := j.Router.Annotation
+	// Lines 4–5: unannounced subsequent address → vote for its IR's
+	// annotation, which propagates across unannounced chains (Fig. 8).
+	if j.Origin == asn.None {
+		return asj
+	}
+	// Lines 6–8: third-party test. The reply may have come from an
+	// off-path interface owned by a third AS; detect via (1) an AS
+	// relationship between a link origin and j's router annotation that
+	// bypasses j's origin, and (2) j's origin never being a destination
+	// of probes crossing this link.
+	if !opts.DisableThirdParty && asj != asn.None && j.Origin != asj {
+		bypass := false
+		for o := range origins {
+			if rels.HasRelationship(o, asj) {
+				bypass = true
+				break
+			}
+		}
+		if bypass && !l.DestASes.Has(j.Origin) {
+			return asj
+		}
+	}
+	// Line 9: the interface's current annotation.
+	return j.Annotation
+}
+
+// fixReallocatedVotes implements §6.1.2: when every subsequent interface
+// whose origin is in the IR's origin set (a) shares a single /24, (b)
+// belongs to IRs annotated with one single AS, and (c) that AS is a
+// customer of an IR origin AS, the addresses are inferred to be a
+// reallocated prefix and their votes move from the provider to the
+// customer.
+func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
+	votes asn.Counter, m map[asn.ASN]asn.Set, rels RelationshipOracle) {
+
+	var cands []*Link
+	for _, l := range links {
+		if l.To.Origin != asn.None && r.OriginSet.Has(l.To.Origin) {
+			cands = append(cands, l)
+		}
+	}
+	if len(cands) < 2 {
+		return // require multiple links (§6.1.2)
+	}
+	var annot asn.ASN
+	var prefix netip.Prefix
+	for i, l := range cands {
+		a := l.To.Router.Annotation
+		p := netutil.Slash24(l.To.Addr)
+		if i == 0 {
+			annot, prefix = a, p
+			continue
+		}
+		if a != annot || p != prefix {
+			return
+		}
+	}
+	if annot == asn.None {
+		return
+	}
+	isCustomer := false
+	for o := range r.OriginSet {
+		if rels.IsProvider(o, annot) {
+			isCustomer = true
+			break
+		}
+	}
+	if !isCustomer {
+		return
+	}
+	for _, l := range cands {
+		old, ok := linkVote[l]
+		if !ok || old == annot {
+			continue
+		}
+		votes.Inc(old, -1)
+		if votes[old] <= 0 {
+			delete(votes, old)
+		}
+		votes.Inc(annot, 1)
+		linkVote[l] = annot
+		s, ok := m[annot]
+		if !ok {
+			s = asn.NewSet()
+			m[annot] = s
+		}
+		s.AddAll(l.OriginSet())
+	}
+}
+
+// exceptionCases implements §6.1.3: the multihomed-customer exception
+// and the multiple-peers/providers exception. ok reports whether an
+// exception fired.
+func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
+	rels RelationshipOracle) (asn.ASN, bool) {
+
+	subs := asn.NewSet()
+	for _, v := range linkVote {
+		if v != asn.None {
+			subs.Add(v)
+		}
+	}
+
+	// Multihomed to a provider: a single subsequent AS that is a
+	// customer of an IR origin AS operates the router (Fig. 11).
+	if subs.Len() == 1 {
+		asj := subs.Sorted()[0]
+		if !r.OriginSet.Has(asj) {
+			for o := range r.OriginSet {
+				if rels.IsProvider(o, asj) {
+					return asj, true
+				}
+			}
+		}
+	}
+
+	// Multiple peers/providers: the common denominator operates the IR,
+	// provided it retains at least half the top vote count.
+	_, maxVotes := votes.Max()
+	halfOK := func(a asn.ASN) bool { return votes[a]*2 >= maxVotes }
+
+	if r.OriginSet.Len() == 1 && subs.Len() > 1 {
+		origin := r.OriginSet.Sorted()[0]
+		all := true
+		for s := range subs {
+			if s == origin {
+				continue
+			}
+			if !rels.IsPeer(origin, s) && !rels.IsProvider(s, origin) {
+				all = false
+				break
+			}
+		}
+		if all && halfOK(origin) {
+			return origin, true
+		}
+	}
+	if r.OriginSet.Len() > 1 && subs.Len() == 1 {
+		s := subs.Sorted()[0]
+		all := true
+		for o := range r.OriginSet {
+			if o == s {
+				continue
+			}
+			if !rels.IsPeer(s, o) && !rels.IsProvider(s, o) {
+				all = false
+				break
+			}
+		}
+		if all && !r.OriginSet.Has(s) && halfOK(s) {
+			return s, true
+		}
+	}
+	return asn.None, false
+}
+
+// hiddenAS implements §6.1.5: when the selected AS has no relationship
+// with any IR origin AS, look for a single AS bridging the link origins
+// and the selection — a customer of a link origin that is a provider of
+// the selection (Fig. 12) — and use it instead.
+func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOracle) asn.ASN {
+	if r.OriginSet.Has(selected) {
+		return selected
+	}
+	for o := range r.OriginSet {
+		if rels.HasRelationship(o, selected) {
+			return selected
+		}
+	}
+	bridges := asn.NewSet()
+	for p := range rels.Providers(selected) {
+		for o := range backing {
+			if rels.IsProvider(o, p) {
+				bridges.Add(p)
+				break
+			}
+		}
+	}
+	if bridges.Len() == 0 {
+		// Fall back to the IR origin set when the links carried no
+		// origins (e.g. all unannounced).
+		for p := range rels.Providers(selected) {
+			for o := range r.OriginSet {
+				if rels.IsProvider(o, p) {
+					bridges.Add(p)
+					break
+				}
+			}
+		}
+	}
+	if bridges.Len() == 1 {
+		return bridges.Sorted()[0]
+	}
+	return selected
+}
+
+// annotateInterface implements §6.2: align each interface's annotation
+// with the router it connects to. When the interface's origin differs
+// from its IR's annotation the origin identifies the far router;
+// otherwise the connected IRs vote, weighted by how many of their
+// interfaces preceded this one in traceroutes.
+func annotateInterface(i *Interface, rels RelationshipOracle) {
+	if i.Kind == ip2as.IXP || i.Origin == asn.None {
+		return
+	}
+	if i.Origin != i.Router.Annotation {
+		i.Annotation = i.Origin
+		return
+	}
+	// Restrict the vote to the highest-confidence in-links available
+	// (§4.2's class hierarchy): a Nexthop link identifies the connected
+	// router far more reliably than a Multihop link bridging a gap.
+	best := LabelMultihop
+	for _, l := range i.InLinks {
+		if l.Label > best {
+			best = l.Label
+		}
+	}
+	votes := make(asn.Counter)
+	for _, l := range i.InLinks {
+		if l.Label != best {
+			continue
+		}
+		if a := l.From.Annotation; a != asn.None {
+			votes.Inc(a, len(l.Prev))
+		}
+	}
+	top, _ := votes.Max()
+	switch len(top) {
+	case 0:
+		i.Annotation = i.Origin
+	case 1:
+		i.Annotation = top[0]
+	default:
+		var related []asn.ASN
+		for _, t := range top {
+			if rels.HasRelationship(t, i.Origin) {
+				related = append(related, t)
+			}
+		}
+		if len(related) > 0 {
+			i.Annotation = rels.LargestCone(related)
+		} else {
+			i.Annotation = i.Origin
+		}
+	}
+}
+
+// stateHash hashes the complete annotation state for repeated-state
+// detection (§6.3).
+func (g *Graph) stateHash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	write := func(a asn.ASN) {
+		buf[0] = byte(a >> 24)
+		buf[1] = byte(a >> 16)
+		buf[2] = byte(a >> 8)
+		buf[3] = byte(a)
+		h.Write(buf[:])
+	}
+	for _, r := range g.Routers {
+		write(r.Annotation)
+	}
+	for _, addr := range g.sortedAddrs {
+		write(g.Interfaces[addr].Annotation)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/asn"
+	"repro/internal/ip2as"
+	"repro/internal/traceroute"
+)
+
+// Result is the output of a bdrmapIT run: the annotated graph plus loop
+// metadata.
+type Result struct {
+	Graph *Graph
+	// Iterations is the number of refinement iterations executed.
+	Iterations int
+	// Converged reports whether the loop stopped on a repeated state
+	// rather than the iteration cap.
+	Converged bool
+}
+
+// OperatorOf returns the AS inferred to operate the router owning addr,
+// or asn.None when addr was not observed or not annotated.
+func (res *Result) OperatorOf(addr netip.Addr) asn.ASN {
+	i, ok := res.Graph.Interfaces[addr]
+	if !ok {
+		return asn.None
+	}
+	return i.Router.Annotation
+}
+
+// ConnectedAS returns the AS inferred to be on the far side of addr's
+// link (the interface annotation).
+func (res *Result) ConnectedAS(addr netip.Addr) asn.ASN {
+	i, ok := res.Graph.Interfaces[addr]
+	if !ok {
+		return asn.None
+	}
+	return i.Annotation
+}
+
+// InterdomainLink is one inferred interdomain connection: the link's
+// near router is operated by NearAS and its subsequent interface sits on
+// a router operated by FarAS.
+type InterdomainLink struct {
+	NearAS, FarAS asn.ASN
+	// NearRouter is the IR on the near side.
+	NearRouter *Router
+	// FarAddr is the subsequent interface's address.
+	FarAddr netip.Addr
+	// Label is the link's confidence label.
+	Label LinkLabel
+}
+
+// InterdomainLinks enumerates every graph link whose endpoint routers
+// carry different (non-empty) AS annotations — the border links the
+// system exists to find. Results are ordered by (NearAS, FarAS,
+// FarAddr).
+func (res *Result) InterdomainLinks() []InterdomainLink {
+	var out []InterdomainLink
+	for _, r := range res.Graph.Routers {
+		if r.Annotation == asn.None {
+			continue
+		}
+		for _, l := range r.SortedLinks() {
+			far := l.To.Router.Annotation
+			if far == asn.None || far == r.Annotation {
+				continue
+			}
+			out = append(out, InterdomainLink{
+				NearAS:     r.Annotation,
+				FarAS:      far,
+				NearRouter: r,
+				FarAddr:    l.To.Addr,
+				Label:      l.Label,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NearAS != out[j].NearAS {
+			return out[i].NearAS < out[j].NearAS
+		}
+		if out[i].FarAS != out[j].FarAS {
+			return out[i].FarAS < out[j].FarAS
+		}
+		return out[i].FarAddr.Less(out[j].FarAddr)
+	})
+	return out
+}
+
+// ASLinks returns the distinct inferred AS-level adjacencies
+// (unordered pairs), sorted.
+func (res *Result) ASLinks() [][2]asn.ASN {
+	seen := make(map[[2]asn.ASN]bool)
+	for _, l := range res.InterdomainLinks() {
+		a, b := l.NearAS, l.FarAS
+		if b < a {
+			a, b = b, a
+		}
+		seen[[2]asn.ASN{a, b}] = true
+	}
+	out := make([][2]asn.ASN, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Infer is the one-call entry point: build the graph from traces
+// (phase 1) and run phases 2–3.
+func Infer(traces []*traceroute.Trace, resolver *ip2as.Resolver,
+	aliases *alias.Sets, rels RelationshipOracle, opts Options) *Result {
+
+	b := NewBuilder(resolver, aliases)
+	for _, t := range traces {
+		b.AddTrace(t)
+	}
+	g := b.Finish(rels)
+	return Run(g, rels, opts)
+}

@@ -1,0 +1,382 @@
+package eval
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// fakeOps maps addresses to inferred operators for metric tests.
+type fakeOps map[string]asn.ASN
+
+func (f fakeOps) OperatorOf(a netip.Addr) asn.ASN { return f[a.String()] }
+
+func mkLink(near, far string, nearAS, farAS asn.ASN, echoOnly, lastHopOnly bool) *LinkObs {
+	return &LinkObs{
+		NearAddr: netip.MustParseAddr(near), FarAddr: netip.MustParseAddr(far),
+		NearASN: nearAS, FarASN: farAS,
+		FarEchoOnly: echoOnly, LastHopOnly: lastHopOnly,
+	}
+}
+
+func TestScoreTPFPFN(t *testing.T) {
+	links := []*LinkObs{
+		mkLink("1.0.0.1", "2.0.0.1", 100, 200, false, false), // correct
+		mkLink("1.0.0.2", "2.0.0.2", 100, 200, false, false), // wrong far
+		mkLink("1.0.0.3", "1.0.0.4", 100, 100, false, false), // internal, FP if claimed
+		mkLink("1.0.0.5", "3.0.0.1", 100, 300, true, false),  // echo-only far
+	}
+	ops := fakeOps{
+		"1.0.0.1": 100, "2.0.0.1": 200, // TP
+		"1.0.0.2": 100, "2.0.0.2": 300, // FP (wrong pair) + FN
+		"1.0.0.3": 100, "1.0.0.4": 200, // FP (truth internal)
+		"1.0.0.5": 100, "3.0.0.1": 400, // echo-only: FP only (excluded from recall)
+	}
+	pr := Score(links, ops, 100, ScoreOptions{})
+	if pr.TP != 1 || pr.FP != 3 || pr.FN != 1 {
+		t.Errorf("PR = %+v, want TP=1 FP=3 FN=1", pr)
+	}
+	if pr.Precision() != 0.25 {
+		t.Errorf("precision = %v", pr.Precision())
+	}
+	if pr.Recall() != 0.5 {
+		t.Errorf("recall = %v", pr.Recall())
+	}
+}
+
+func TestScoreExcludeLastHopOnly(t *testing.T) {
+	links := []*LinkObs{
+		mkLink("1.0.0.1", "2.0.0.1", 100, 200, false, true),
+		mkLink("1.0.0.2", "2.0.0.2", 100, 200, false, false),
+	}
+	ops := fakeOps{"1.0.0.1": 100, "2.0.0.1": 200, "1.0.0.2": 100, "2.0.0.2": 200}
+	pr := Score(links, ops, 100, ScoreOptions{ExcludeLastHopOnly: true})
+	if pr.TP != 1 || pr.FN != 0 {
+		t.Errorf("PR = %+v", pr)
+	}
+}
+
+func TestScoreIgnoresOtherNetworks(t *testing.T) {
+	links := []*LinkObs{
+		mkLink("5.0.0.1", "6.0.0.1", 500, 600, false, false),
+	}
+	ops := fakeOps{"5.0.0.1": 500, "6.0.0.1": 600}
+	pr := Score(links, ops, 100, ScoreOptions{})
+	if pr.TP != 0 || pr.FP != 0 || pr.FN != 0 {
+		t.Errorf("unrelated link counted: %+v", pr)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	links := []*LinkObs{
+		mkLink("1.0.0.1", "2.0.0.1", 100, 200, false, false),
+		mkLink("1.0.0.2", "2.0.0.2", 100, 200, false, false),
+	}
+	ops := fakeOps{"1.0.0.1": 100, "2.0.0.1": 200, "1.0.0.2": 100, "2.0.0.2": 999}
+	acc, n := Accuracy(links, ops, 100)
+	if n != 2 || acc != 0.5 {
+		t.Errorf("accuracy = %v over %d", acc, n)
+	}
+}
+
+func TestVisibleLinks(t *testing.T) {
+	links := []*LinkObs{
+		mkLink("1.0.0.1", "2.0.0.1", 100, 200, false, false),
+		mkLink("1.0.0.3", "1.0.0.4", 100, 100, false, false), // internal
+		mkLink("5.0.0.1", "6.0.0.1", 500, 600, false, false), // other nets
+	}
+	if got := VisibleLinks(links, 100); got != 1 {
+		t.Errorf("visible = %d", got)
+	}
+}
+
+func TestPRZeroDenominators(t *testing.T) {
+	var pr PR
+	if pr.Precision() != 0 || pr.Recall() != 0 {
+		t.Error("empty PR should be 0/0 → 0")
+	}
+}
+
+// TestEndToEndSmall runs the full pipeline on the small topology and
+// asserts quality floors: the experiments in EXPERIMENTS.md rely on the
+// default-scale run; this guards against regressions cheaply.
+func TestEndToEndSmall(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(1), 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Traces) == 0 || len(ds.VPs) == 0 {
+		t.Fatal("empty dataset")
+	}
+	res := ds.RunBdrmapIT(nil, core.Options{})
+	if !res.Converged {
+		t.Error("inference did not converge")
+	}
+	links := ObservedLinks(ds.In, ds.Traces)
+	if len(links) == 0 {
+		t.Fatal("no observed links")
+	}
+	total := PR{}
+	for _, gt := range ds.GT {
+		pr := Score(links, res, gt, ScoreOptions{})
+		total.TP += pr.TP
+		total.FP += pr.FP
+		total.FN += pr.FN
+	}
+	if total.TP == 0 {
+		t.Fatal("no true positives at all")
+	}
+	if p := total.Precision(); p < 0.75 {
+		t.Errorf("aggregate precision %.3f below floor", p)
+	}
+	if r := total.Recall(); r < 0.75 {
+		t.Errorf("aggregate recall %.3f below floor", r)
+	}
+}
+
+// TestObservedLinksGroundTruth checks the scorer's link extraction:
+// every observed link's truth routers must own the reply addresses.
+func TestObservedLinksGroundTruth(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(2), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := ObservedLinks(ds.In, ds.Traces)
+	for _, l := range links {
+		if ds.In.OwnerASN(l.NearAddr) != l.NearASN {
+			t.Fatalf("near truth mismatch at %v", l.NearAddr)
+		}
+		if ds.In.OwnerASN(l.FarAddr) != l.FarASN {
+			t.Fatalf("far truth mismatch at %v", l.FarAddr)
+		}
+	}
+}
+
+func TestTracesFromVPsFilter(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(3), 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := ds.TracesFromVPs(ds.VPs[:2])
+	if len(sub) == 0 || len(sub) >= len(ds.Traces) {
+		t.Errorf("subset size %d of %d", len(sub), len(ds.Traces))
+	}
+	names := map[string]bool{ds.VPs[0].Name: true, ds.VPs[1].Name: true}
+	for _, tr := range sub {
+		if !names[tr.VP] {
+			t.Fatalf("foreign VP %s in subset", tr.VP)
+		}
+	}
+}
+
+func TestMeanSE(t *testing.T) {
+	m, se := meanSE([]float64{1, 1, 1})
+	if m != 1 || se != 0 {
+		t.Errorf("constant series: %v ± %v", m, se)
+	}
+	m, se = meanSE([]float64{0, 2})
+	if m != 1 || se <= 0 {
+		t.Errorf("spread series: %v ± %v", m, se)
+	}
+	if m, se = meanSE(nil); m != 0 || se != 0 {
+		t.Error("empty series")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if out == "" || len(out) < 10 {
+		t.Errorf("table output: %q", out)
+	}
+}
+
+// TestIPv6Parity: the structure-preserving embedding must yield nearly
+// identical link accuracy across families. The only family-dependent
+// heuristic is the §6.1.2 reallocated-prefix grouping granularity (/24
+// for IPv4, /48 for IPv6 — matching operational allocation units), so
+// a small tolerance is allowed.
+func TestIPv6Parity(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(6), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RunIPv6Parity(ds)
+	if p.V4Links == 0 || p.V6Links == 0 {
+		t.Fatalf("no links scored: %+v", p)
+	}
+	if p.V4Links != p.V6Links {
+		t.Errorf("link counts differ: %d vs %d", p.V4Links, p.V6Links)
+	}
+	diff := p.V4Accuracy - p.V6Accuracy
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.02 {
+		t.Errorf("family-dependent behaviour beyond realloc granularity: v4=%.4f v6=%.4f",
+			p.V4Accuracy, p.V6Accuracy)
+	}
+}
+
+// TestAliasImpactRuns exercises the §7.4 future-work experiment.
+func TestAliasImpactRuns(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(7), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := RunAliasImpact(ds)
+	if ai.MultiIRs == 0 {
+		t.Fatal("no multi-interface IRs")
+	}
+	if ai.Fixed+ai.Broken+ai.Neutral != ai.MultiIRs {
+		t.Errorf("classes do not partition: %+v", ai)
+	}
+}
+
+// TestExperimentRunners drives every figure's runner at small scale —
+// the same code paths the harness and benches use.
+func TestExperimentRunners(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(9), 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("fig15", func(t *testing.T) {
+		rows := RunFig15(ds)
+		if len(rows) != 4 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for _, r := range rows {
+			if r.Links == 0 {
+				t.Errorf("%s: no links", r.Network)
+			}
+			if r.BdrmapIT < 0.5 {
+				t.Errorf("%s: bdrmapIT accuracy %.2f implausible", r.Network, r.BdrmapIT)
+			}
+		}
+	})
+
+	t.Run("fig16+17", func(t *testing.T) {
+		for _, exclude := range []bool{false, true} {
+			rows := RunFig16(ds, exclude)
+			if len(rows) != 4 {
+				t.Fatalf("rows = %d", len(rows))
+			}
+			var itR, mR float64
+			for _, r := range rows {
+				itR += r.BdrmapIT.Recall()
+				mR += r.MAPIT.Recall()
+			}
+			if itR <= mR {
+				t.Errorf("exclude=%v: bdrmapIT recall (%.2f) not ahead of MAP-IT (%.2f)",
+					exclude, itR/4, mR/4)
+			}
+		}
+	})
+
+	t.Run("vpsweep", func(t *testing.T) {
+		rows := RunVPSweep(ds, []int{4, 8}, 2)
+		if len(rows) != 8 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		// Visible fraction must not shrink with more VPs (averaged).
+		var lo, hi float64
+		for _, r := range rows {
+			if r.NumVPs == 4 {
+				lo += r.VisibleMean
+			} else {
+				hi += r.VisibleMean
+			}
+		}
+		if hi < lo {
+			t.Errorf("visible links shrank with more VPs: %.2f → %.2f", lo/4, hi/4)
+		}
+	})
+
+	t.Run("fig20", func(t *testing.T) {
+		rows := RunFig20(ds)
+		if len(rows) != 4 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		var ma, ka float64
+		for _, r := range rows {
+			ma += r.MidarAcc
+			ka += r.KaparAcc
+		}
+		if ma < ka {
+			t.Errorf("kapar (%.2f) outscored midar (%.2f)", ka/4, ma/4)
+		}
+	})
+
+	t.Run("ablations", func(t *testing.T) {
+		rows := RunAblations(ds)
+		if len(rows) != 7 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for _, r := range rows {
+			if r.Links == 0 || r.Accuracy == 0 {
+				t.Errorf("%s: empty result", r.Name)
+			}
+		}
+	})
+
+	t.Run("overall-accuracy", func(t *testing.T) {
+		res := ds.RunBdrmapIT(nil, core.Options{})
+		acc, n := ds.OverallAccuracy(res)
+		if n == 0 || acc < 0.5 {
+			t.Errorf("overall accuracy %.2f over %d", acc, n)
+		}
+	})
+}
+
+// TestRelAccuracy validates the relationship-inference input quality:
+// most visible transit edges must be inferred with the right
+// orientation, and spurious edges must be rare.
+func TestRelAccuracy(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(4), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := RunRelAccuracy(ds)
+	totalP2C := ra.P2CCorrect + ra.P2CWrongType + ra.P2CMissing
+	if totalP2C == 0 {
+		t.Fatal("no transit edges scored")
+	}
+	// The small topology has few collectors, so fewer paths are
+	// clique-anchored and more top links abstain from transit voting;
+	// the default-scale run sits above 0.9 (see the harness "rels"
+	// experiment).
+	if frac := float64(ra.P2CCorrect) / float64(totalP2C); frac < 0.7 {
+		t.Errorf("p2c inference %.2f below floor (%+v)", frac, ra)
+	}
+	if ra.Spurious > totalP2C/10 {
+		t.Errorf("too many spurious edges: %d (%+v)", ra.Spurious, ra)
+	}
+}
+
+// TestErrorCensus checks the diagnostic classifier's invariants.
+func TestErrorCensus(t *testing.T) {
+	ds, err := BuildDataset(topo.SmallConfig(5), 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := RunErrorCensus(ds)
+	if ec.Total == 0 {
+		t.Fatal("no IRs classified")
+	}
+	sum := 0
+	for _, n := range ec.PerClass {
+		sum += n
+	}
+	if sum != ec.Wrong {
+		t.Errorf("classes (%d) do not account for all errors (%d)", sum, ec.Wrong)
+	}
+	if float64(ec.Wrong)/float64(ec.Total) > 0.15 {
+		t.Errorf("error rate implausibly high: %d/%d", ec.Wrong, ec.Total)
+	}
+	if len(ec.ClassList) != len(ec.PerClass) {
+		t.Error("class list incomplete")
+	}
+}

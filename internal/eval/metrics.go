@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/netutil"
+	"repro/internal/topo"
+	"repro/internal/traceroute"
+)
+
+// Operators is the inference interface the scorer consumes: bdrmapIT,
+// bdrmap, and MAP-IT results all provide it.
+type Operators interface {
+	// OperatorOf returns the inferred operator of the router using
+	// addr (asn.None when uninferred).
+	OperatorOf(addr netip.Addr) asn.ASN
+}
+
+// LinkObs is one observed router-level adjacency with its ground truth:
+// a pair of true routers seen consecutively in at least one trace.
+type LinkObs struct {
+	// NearAddr/FarAddr are representative observed reply addresses.
+	NearAddr, FarAddr netip.Addr
+	// NearASN/FarASN are the ground-truth operators.
+	NearASN, FarASN asn.ASN
+	// FarEchoOnly: the far address only ever replied with Echo Reply
+	// (excluded from recall, §7.2).
+	FarEchoOnly bool
+	// LastHopOnly: this adjacency was only observed with the far hop
+	// terminating its trace (the Fig. 17 filter).
+	LastHopOnly bool
+}
+
+// Interdomain reports whether the ground-truth operators differ.
+func (l *LinkObs) Interdomain() bool { return l.NearASN != l.FarASN }
+
+// Involves reports whether the ground truth involves network x.
+func (l *LinkObs) Involves(x asn.ASN) bool { return l.NearASN == x || l.FarASN == x }
+
+// ObservedLinks extracts the unique ground-truth router adjacencies
+// observed in the traces. Consecutive responsive hops form an
+// adjacency even across unresponsive gaps, matching the graph the
+// inferences run on.
+func ObservedLinks(in *topo.Internet, traces []*traceroute.Trace) []*LinkObs {
+	echoOnly := make(map[netip.Addr]bool)
+	for _, t := range traces {
+		for _, h := range t.Hops {
+			if netutil.IsSpecial(h.Addr) {
+				continue
+			}
+			if _, ok := echoOnly[h.Addr]; !ok {
+				echoOnly[h.Addr] = true
+			}
+			if h.Reply != traceroute.EchoReply {
+				echoOnly[h.Addr] = false
+			}
+		}
+	}
+	type key [2]int
+	links := make(map[key]*LinkObs)
+	for _, t := range traces {
+		var hops []traceroute.Hop
+		for _, h := range t.Hops {
+			if !netutil.IsSpecial(h.Addr) {
+				hops = append(hops, h)
+			}
+		}
+		for i := 0; i+1 < len(hops); i++ {
+			a, b := hops[i], hops[i+1]
+			ra, rb := in.RouterOf(a.Addr), in.RouterOf(b.Addr)
+			if ra == nil || rb == nil || ra == rb {
+				continue
+			}
+			k := key{ra.ID, rb.ID}
+			l, ok := links[k]
+			if !ok {
+				l = &LinkObs{
+					NearAddr: a.Addr, FarAddr: b.Addr,
+					NearASN: ra.Owner.EffectiveASN(), FarASN: rb.Owner.EffectiveASN(),
+					FarEchoOnly: echoOnly[b.Addr],
+					LastHopOnly: true,
+				}
+				links[k] = l
+			}
+			if i+1 < len(hops)-1 {
+				l.LastHopOnly = false
+			}
+		}
+	}
+	out := make([]*LinkObs, 0, len(links))
+	for _, l := range links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NearAddr != out[j].NearAddr {
+			return out[i].NearAddr.Less(out[j].NearAddr)
+		}
+		return out[i].FarAddr.Less(out[j].FarAddr)
+	})
+	return out
+}
+
+// PR is a precision/recall tally.
+type PR struct{ TP, FP, FN int }
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (p PR) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (p PR) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// ScoreOptions filters the evaluation.
+type ScoreOptions struct {
+	// ExcludeLastHopOnly drops adjacencies only seen terminating traces
+	// (Fig. 17).
+	ExcludeLastHopOnly bool
+}
+
+// Score computes precision and recall of an inference for ground-truth
+// network gt over the observed links, following §7.2: precision counts
+// inferred interdomain links involving gt that are correct (not
+// internal, and with the right connected networks); recall counts
+// ground-truth interdomain links involving gt that were correctly
+// identified, excluding echo-only far interfaces.
+func Score(links []*LinkObs, op Operators, gt asn.ASN, opts ScoreOptions) PR {
+	var pr PR
+	for _, l := range links {
+		if opts.ExcludeLastHopOnly && l.LastHopOnly {
+			continue
+		}
+		infNear := op.OperatorOf(l.NearAddr)
+		infFar := op.OperatorOf(l.FarAddr)
+		infInter := infNear != asn.None && infFar != asn.None && infNear != infFar
+		infInvolves := infInter && (infNear == gt || infFar == gt)
+		correct := infInter && infNear == l.NearASN && infFar == l.FarASN
+
+		if infInvolves {
+			if correct && l.Interdomain() {
+				pr.TP++
+			} else {
+				pr.FP++
+			}
+		}
+		if l.Interdomain() && l.Involves(gt) && !l.FarEchoOnly {
+			if !(correct && infInvolves) {
+				pr.FN++
+			}
+		}
+	}
+	return pr
+}
+
+// Accuracy returns the fraction of ground-truth interdomain links
+// involving gt whose connected networks were inferred correctly — the
+// Fig. 15 metric — along with the number of links evaluated.
+func Accuracy(links []*LinkObs, op Operators, gt asn.ASN) (acc float64, total int) {
+	correct := 0
+	for _, l := range links {
+		if !l.Interdomain() || !l.Involves(gt) || l.FarEchoOnly {
+			continue
+		}
+		total++
+		infNear := op.OperatorOf(l.NearAddr)
+		infFar := op.OperatorOf(l.FarAddr)
+		if infNear == l.NearASN && infFar == l.FarASN {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}
+
+// VisibleLinks counts the ground-truth interdomain links involving gt
+// that appear in the observed set (the Fig. 19 numerator).
+func VisibleLinks(links []*LinkObs, gt asn.ASN) int {
+	n := 0
+	for _, l := range links {
+		if l.Interdomain() && l.Involves(gt) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package ip2as
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/ixp"
+	"repro/internal/rir"
+)
+
+func testResolver(t *testing.T) *Resolver {
+	t.Helper()
+	routes, err := bgp.ReadRoutes(strings.NewReader(
+		"8.0.0.0/8|3356 15169\n80.249.208.0/21|1200 64999\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels := rir.New()
+	dels.AddPrefix(netip.MustParsePrefix("9.0.0.0/16"), 64501)
+	dels.AddPrefix(netip.MustParsePrefix("8.8.0.0/16"), 64502) // shadowed by BGP
+	ixps := ixp.NewSet()
+	ixps.Add(netip.MustParsePrefix("80.249.208.0/21"))
+	return &Resolver{IXPs: ixps, Table: bgp.NewTable(routes), Delegations: dels}
+}
+
+func TestLayering(t *testing.T) {
+	r := testResolver(t)
+	cases := []struct {
+		addr   string
+		origin asn.ASN
+		kind   Kind
+	}{
+		// IXP wins even though the prefix is announced in BGP.
+		{"80.249.209.1", asn.None, IXP},
+		{"8.1.2.3", 15169, BGP},
+		// BGP wins over the RIR delegation covering the same space.
+		{"8.8.1.1", 15169, BGP},
+		// RIR fallback for space invisible in BGP.
+		{"9.0.1.2", 64501, RIR},
+		{"4.4.4.4", asn.None, Unannounced},
+		{"10.1.1.1", asn.None, Special},
+		{"192.168.0.1", asn.None, Special},
+	}
+	for _, c := range cases {
+		got := r.Lookup(netip.MustParseAddr(c.addr))
+		if got.Origin != c.origin || got.Kind != c.kind {
+			t.Errorf("Lookup(%s) = {%v %v}, want {%v %v}",
+				c.addr, got.Origin, got.Kind, c.origin, c.kind)
+		}
+	}
+}
+
+func TestOriginConvenience(t *testing.T) {
+	r := testResolver(t)
+	if got := r.Origin(netip.MustParseAddr("8.1.2.3")); got != 15169 {
+		t.Errorf("Origin = %v", got)
+	}
+	if got := r.Origin(netip.MustParseAddr("80.249.209.1")); got != asn.None {
+		t.Errorf("IXP origin should be None, got %v", got)
+	}
+}
+
+func TestNilLayers(t *testing.T) {
+	r := &Resolver{}
+	if got := r.Lookup(netip.MustParseAddr("8.8.8.8")); got.Kind != Unannounced {
+		t.Errorf("empty resolver: %v", got.Kind)
+	}
+}
+
+func TestMeasureCoverage(t *testing.T) {
+	r := testResolver(t)
+	addrs := []netip.Addr{
+		netip.MustParseAddr("8.1.1.1"),      // bgp
+		netip.MustParseAddr("9.0.0.1"),      // rir
+		netip.MustParseAddr("80.249.208.9"), // ixp
+		netip.MustParseAddr("4.4.4.4"),      // unannounced
+		netip.MustParseAddr("10.0.0.1"),     // special
+	}
+	cov := r.Measure(addrs)
+	if cov.Total != 5 || cov.ByBGP != 1 || cov.ByRIR != 1 || cov.ByIXP != 1 ||
+		cov.UnannouncedN != 1 || cov.SpecialN != 1 {
+		t.Errorf("coverage = %+v", cov)
+	}
+	if got := cov.Fraction(); got != 0.75 {
+		t.Errorf("fraction = %v, want 0.75", got)
+	}
+	if (Coverage{}).Fraction() != 0 {
+		t.Error("empty coverage fraction should be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		IXP: "ixp", BGP: "bgp", RIR: "rir", Special: "special", Unannounced: "unannounced",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

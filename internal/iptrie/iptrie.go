@@ -1,0 +1,215 @@
+// Package iptrie implements a generic binary radix trie keyed by IP
+// prefixes, supporting exact insert and longest-prefix-match lookups for
+// both IPv4 and IPv6. It is the substrate under the BGP table, the RIR
+// delegation index, and the IXP prefix set.
+package iptrie
+
+import (
+	"net/netip"
+)
+
+// node is one binary trie node. Children are indexed by the next bit of
+// the key. A node carries a value only when set is true; interior nodes
+// created on the way down are value-less.
+type node[V any] struct {
+	child [2]*node[V]
+	value V
+	set   bool
+}
+
+// Trie maps IP prefixes to values with longest-prefix-match semantics.
+// The zero value is ready to use. IPv4 and IPv6 live in separate roots so
+// 4-in-6 mapped addresses never collide with native IPv6 space.
+type Trie[V any] struct {
+	v4, v6 *node[V]
+	length int
+}
+
+// New returns an empty trie.
+func New[V any]() *Trie[V] { return &Trie[V]{} }
+
+// Len returns the number of distinct prefixes stored.
+func (t *Trie[V]) Len() int { return t.length }
+
+func (t *Trie[V]) root(is4 bool, create bool) *node[V] {
+	if is4 {
+		if t.v4 == nil && create {
+			t.v4 = &node[V]{}
+		}
+		return t.v4
+	}
+	if t.v6 == nil && create {
+		t.v6 = &node[V]{}
+	}
+	return t.v6
+}
+
+// bitAt returns bit i (0 = most significant) of the address a.
+func bitAt(a netip.Addr, i int) int {
+	s := a.AsSlice()
+	return int(s[i/8]>>(7-i%8)) & 1
+}
+
+// Insert stores value under prefix p, replacing any existing value for
+// exactly p. It reports whether the prefix was newly inserted.
+func (t *Trie[V]) Insert(p netip.Prefix, value V) bool {
+	p = p.Masked()
+	a := p.Addr().Unmap()
+	n := t.root(a.Is4(), true)
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(a, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	fresh := !n.set
+	n.value = value
+	n.set = true
+	if fresh {
+		t.length++
+	}
+	return fresh
+}
+
+// Update looks up the value stored for exactly p, applies f to it
+// (f receives the zero value and ok=false when absent), and stores the
+// result. It is the read-modify-write primitive used for MOAS origin sets.
+func (t *Trie[V]) Update(p netip.Prefix, f func(old V, ok bool) V) {
+	p = p.Masked()
+	a := p.Addr().Unmap()
+	n := t.root(a.Is4(), true)
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(a, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	n.value = f(n.value, n.set)
+	if !n.set {
+		n.set = true
+		t.length++
+	}
+}
+
+// Get returns the value stored for exactly p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	p = p.Masked()
+	a := p.Addr().Unmap()
+	n := t.root(a.Is4(), false)
+	if n == nil {
+		return zero, false
+	}
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	if !n.set {
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Lookup returns the value and prefix of the longest stored prefix
+// containing addr, or ok=false when no stored prefix covers it.
+func (t *Trie[V]) Lookup(addr netip.Addr) (value V, match netip.Prefix, ok bool) {
+	var zero V
+	a := addr.Unmap()
+	n := t.root(a.Is4(), false)
+	if n == nil {
+		return zero, netip.Prefix{}, false
+	}
+	maxBits := 128
+	if a.Is4() {
+		maxBits = 32
+	}
+	var (
+		best     V
+		bestLen  = -1
+		haveBest bool
+	)
+	for i := 0; ; i++ {
+		if n.set {
+			best = n.value
+			bestLen = i
+			haveBest = true
+		}
+		if i == maxBits {
+			break
+		}
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if !haveBest {
+		return zero, netip.Prefix{}, false
+	}
+	return best, netip.PrefixFrom(a, bestLen).Masked(), true
+}
+
+// Covered reports whether any stored prefix contains addr.
+func (t *Trie[V]) Covered(addr netip.Addr) bool {
+	_, _, ok := t.Lookup(addr)
+	return ok
+}
+
+// CoveredByPrefix reports whether any stored prefix contains all of p,
+// i.e. a stored prefix at least as short as p lies on p's path.
+func (t *Trie[V]) CoveredByPrefix(p netip.Prefix) bool {
+	p = p.Masked()
+	a := p.Addr().Unmap()
+	n := t.root(a.Is4(), false)
+	if n == nil {
+		return false
+	}
+	for i := 0; ; i++ {
+		if n.set {
+			return true
+		}
+		if i == p.Bits() {
+			return false
+		}
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			return false
+		}
+	}
+}
+
+// Walk visits every stored prefix/value pair in lexicographic bit order
+// (IPv4 first, then IPv6). Walk stops early if f returns false.
+func (t *Trie[V]) Walk(f func(p netip.Prefix, v V) bool) {
+	var walk func(n *node[V], addr [16]byte, depth int, is4 bool) bool
+	walk = func(n *node[V], addr [16]byte, depth int, is4 bool) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			var p netip.Prefix
+			if is4 {
+				var a4 [4]byte
+				copy(a4[:], addr[:4])
+				p = netip.PrefixFrom(netip.AddrFrom4(a4), depth)
+			} else {
+				p = netip.PrefixFrom(netip.AddrFrom16(addr), depth)
+			}
+			if !f(p, n.value) {
+				return false
+			}
+		}
+		if !walk(n.child[0], addr, depth+1, is4) {
+			return false
+		}
+		addr[depth/8] |= 1 << (7 - depth%8)
+		return walk(n.child[1], addr, depth+1, is4)
+	}
+	if !walk(t.v4, [16]byte{}, 0, true) {
+		return
+	}
+	walk(t.v6, [16]byte{}, 0, false)
+}

@@ -1,0 +1,233 @@
+package iptrie
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(netip.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(netip.MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Insert(netip.MustParsePrefix("10.1.2.0/24"), 3)
+
+	cases := []struct {
+		addr string
+		want int
+		pfx  string
+	}{
+		{"10.1.2.3", 3, "10.1.2.0/24"},
+		{"10.1.3.3", 2, "10.1.0.0/16"},
+		{"10.2.3.4", 1, "10.0.0.0/8"},
+	}
+	for _, c := range cases {
+		v, p, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if !ok || v != c.want || p != netip.MustParsePrefix(c.pfx) {
+			t.Errorf("Lookup(%s) = %d,%v,%v; want %d,%s", c.addr, v, p, ok, c.want, c.pfx)
+		}
+	}
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("lookup outside all prefixes should miss")
+	}
+}
+
+func TestLookupEmptyAndV6Separation(t *testing.T) {
+	tr := New[string]()
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("1.2.3.4")); ok {
+		t.Error("empty trie should miss")
+	}
+	tr.Insert(netip.MustParsePrefix("10.0.0.0/8"), "v4")
+	tr.Insert(netip.MustParsePrefix("2001:db8::/32"), "v6")
+	if v, _, ok := tr.Lookup(netip.MustParseAddr("2001:db8::1")); !ok || v != "v6" {
+		t.Errorf("v6 lookup: %v %v", v, ok)
+	}
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("2001:db9::1")); ok {
+		t.Error("v6 miss expected")
+	}
+	// 4-in-6 mapped address must resolve in the v4 root.
+	mapped := netip.AddrFrom16(netip.MustParseAddr("10.1.1.1").As16())
+	if v, _, ok := tr.Lookup(mapped); !ok || v != "v4" {
+		t.Errorf("mapped lookup: %v %v", v, ok)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(netip.MustParsePrefix("0.0.0.0/0"), 99)
+	v, p, ok := tr.Lookup(netip.MustParseAddr("8.8.8.8"))
+	if !ok || v != 99 || p.Bits() != 0 {
+		t.Errorf("default route lookup: %d %v %v", v, p, ok)
+	}
+}
+
+func TestInsertReplaceAndLen(t *testing.T) {
+	tr := New[int]()
+	p := netip.MustParsePrefix("192.0.2.0/24")
+	if !tr.Insert(p, 1) {
+		t.Error("first insert should be fresh")
+	}
+	if tr.Insert(p, 2) {
+		t.Error("second insert should replace")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	if v, ok := tr.Get(p); !ok || v != 2 {
+		t.Errorf("Get = %d,%v", v, ok)
+	}
+}
+
+func TestGetExact(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(netip.MustParsePrefix("10.0.0.0/8"), 1)
+	if _, ok := tr.Get(netip.MustParsePrefix("10.0.0.0/16")); ok {
+		t.Error("Get should not match shorter stored prefix")
+	}
+	if v, ok := tr.Get(netip.MustParsePrefix("10.0.0.0/8")); !ok || v != 1 {
+		t.Errorf("exact Get failed: %d %v", v, ok)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New[[]int]()
+	p := netip.MustParsePrefix("10.0.0.0/8")
+	tr.Update(p, func(old []int, ok bool) []int {
+		if ok {
+			t.Error("first update should see absent value")
+		}
+		return append(old, 1)
+	})
+	tr.Update(p, func(old []int, ok bool) []int {
+		if !ok || len(old) != 1 {
+			t.Errorf("second update: %v %v", old, ok)
+		}
+		return append(old, 2)
+	})
+	if v, _ := tr.Get(p); len(v) != 2 {
+		t.Errorf("got %v", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestCoveredByPrefix(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(netip.MustParsePrefix("10.0.0.0/8"), 1)
+	if !tr.CoveredByPrefix(netip.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("/16 inside stored /8 should be covered")
+	}
+	if tr.CoveredByPrefix(netip.MustParsePrefix("11.0.0.0/16")) {
+		t.Error("/16 outside should not be covered")
+	}
+	if !tr.CoveredByPrefix(netip.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("exact match should be covered")
+	}
+	if tr.CoveredByPrefix(netip.MustParsePrefix("10.0.0.0/7")) {
+		t.Error("shorter than stored should not be covered")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := New[int]()
+	in := []string{"10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "0.0.0.0/0", "2001:db8::/32"}
+	for i, s := range in {
+		tr.Insert(netip.MustParsePrefix(s), i)
+	}
+	var got []string
+	tr.Walk(func(p netip.Prefix, v int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	if len(got) != len(in) {
+		t.Fatalf("walk visited %d prefixes, want %d: %v", len(got), len(in), got)
+	}
+	want := append([]string(nil), in...)
+	sort.Strings(want)
+	sortedGot := append([]string(nil), got...)
+	sort.Strings(sortedGot)
+	for i := range want {
+		if sortedGot[i] != want[i] {
+			t.Errorf("walk mismatch: got %v want %v", sortedGot, want)
+			break
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestWalkReconstructsHostRoutes(t *testing.T) {
+	tr := New[int]()
+	p := netip.MustParsePrefix("203.0.113.77/32")
+	tr.Insert(p, 7)
+	found := false
+	tr.Walk(func(q netip.Prefix, v int) bool {
+		if q == p && v == 7 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("walk did not reconstruct /32")
+	}
+}
+
+// Property test: trie longest-prefix match agrees with a linear scan.
+func TestLookupAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	var prefixes []netip.Prefix
+	for i := 0; i < 400; i++ {
+		bits := 8 + rng.Intn(25)
+		addr := netip.AddrFrom4([4]byte{byte(rng.Intn(224) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Insert(p, i)
+		prefixes = append(prefixes, p.Masked())
+	}
+	for i := 0; i < 2000; i++ {
+		addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		bestLen := -1
+		for _, p := range prefixes {
+			if p.Contains(addr) && p.Bits() > bestLen {
+				bestLen = p.Bits()
+			}
+		}
+		_, match, ok := tr.Lookup(addr)
+		if bestLen == -1 {
+			if ok {
+				t.Fatalf("addr %v: trie matched %v, linear scan found none", addr, match)
+			}
+			continue
+		}
+		if !ok || match.Bits() != bestLen {
+			t.Fatalf("addr %v: trie %v (ok=%v), linear best len %d", addr, match, ok, bestLen)
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	for i := 0; i < 100000; i++ {
+		addr := netip.AddrFrom4([4]byte{byte(rng.Intn(224) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+		p, _ := addr.Prefix(8 + rng.Intn(17))
+		tr.Insert(p, i)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,158 @@
+// Package ixp maintains the set of IXP peering-LAN prefixes. bdrmapIT
+// treats addresses inside these prefixes specially (paper §4.1, §6.1.1):
+// their BGP origin ASes are ignored when building origin-AS sets, and
+// links to IXP addresses vote for the likely transit provider instead.
+//
+// The paper compiles the list from PeeringDB, Packet Clearing House, and
+// Euro-IX; this package accepts the three corresponding serializations —
+// a JSON document with a "prefixes" array, a CSV with a prefix column,
+// and a plain newline-separated list.
+package ixp
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+
+	"repro/internal/iptrie"
+)
+
+// Set is a set of IXP peering-LAN prefixes.
+type Set struct {
+	trie *iptrie.Trie[struct{}]
+}
+
+// NewSet returns an empty IXP prefix set.
+func NewSet() *Set {
+	return &Set{trie: iptrie.New[struct{}]()}
+}
+
+// Add inserts a peering-LAN prefix.
+func (s *Set) Add(p netip.Prefix) { s.trie.Insert(p.Masked(), struct{}{}) }
+
+// Len returns the number of prefixes in the set.
+func (s *Set) Len() int { return s.trie.Len() }
+
+// Contains reports whether addr falls inside any IXP peering LAN.
+func (s *Set) Contains(addr netip.Addr) bool {
+	if s == nil || s.trie == nil {
+		return false
+	}
+	return s.trie.Covered(addr)
+}
+
+// Walk visits every prefix in the set.
+func (s *Set) Walk(f func(p netip.Prefix) bool) {
+	s.trie.Walk(func(p netip.Prefix, _ struct{}) bool { return f(p) })
+}
+
+// peeringDBDoc mirrors the subset of the PeeringDB ixpfx export we use.
+type peeringDBDoc struct {
+	Prefixes []string `json:"prefixes"`
+	Data     []struct {
+		Prefix string `json:"prefix"`
+	} `json:"data"`
+}
+
+// ReadJSON merges a PeeringDB-style JSON document into the set. Both the
+// flat {"prefixes": [...]} form and the API {"data": [{"prefix": ...}]}
+// form are accepted.
+func (s *Set) ReadJSON(r io.Reader) error {
+	var doc peeringDBDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("ixp: json: %w", err)
+	}
+	for _, ps := range doc.Prefixes {
+		p, err := netip.ParsePrefix(ps)
+		if err != nil {
+			return fmt.Errorf("ixp: json prefix %q: %w", ps, err)
+		}
+		s.Add(p)
+	}
+	for _, d := range doc.Data {
+		p, err := netip.ParsePrefix(d.Prefix)
+		if err != nil {
+			return fmt.Errorf("ixp: json prefix %q: %w", d.Prefix, err)
+		}
+		s.Add(p)
+	}
+	return nil
+}
+
+// ReadCSV merges a PCH-style CSV into the set. The prefix column is
+// found by header name ("prefix" or "subnet"), defaulting to column 0
+// when no header matches.
+func (s *Set) ReadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return fmt.Errorf("ixp: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	col := 0
+	start := 0
+	for i, h := range rows[0] {
+		name := strings.ToLower(strings.TrimSpace(h))
+		if name == "prefix" || name == "subnet" {
+			col, start = i, 1
+			break
+		}
+	}
+	for _, row := range rows[start:] {
+		if col >= len(row) {
+			continue
+		}
+		field := strings.TrimSpace(row[col])
+		if field == "" {
+			continue
+		}
+		p, err := netip.ParsePrefix(field)
+		if err != nil {
+			return fmt.Errorf("ixp: csv prefix %q: %w", field, err)
+		}
+		s.Add(p)
+	}
+	return nil
+}
+
+// ReadList merges a plain newline-separated prefix list (Euro-IX style)
+// into the set. Blank lines and '#' comments are skipped.
+func (s *Set) ReadList(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := netip.ParsePrefix(line)
+		if err != nil {
+			return fmt.Errorf("ixp: list line %d: %w", lineno, err)
+		}
+		s.Add(p)
+	}
+	return sc.Err()
+}
+
+// WriteList writes the set as a plain prefix list.
+func (s *Set) WriteList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	s.Walk(func(p netip.Prefix) bool {
+		_, err = fmt.Fprintln(bw, p)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}

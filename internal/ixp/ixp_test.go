@@ -1,0 +1,108 @@
+package ixp
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestReadJSONFlat(t *testing.T) {
+	s := NewSet()
+	err := s.ReadJSON(strings.NewReader(`{"prefixes": ["206.126.236.0/22", "2001:504:0:2::/64"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Contains(netip.MustParseAddr("206.126.237.5")) {
+		t.Error("v4 member missing")
+	}
+	if !s.Contains(netip.MustParseAddr("2001:504:0:2::1")) {
+		t.Error("v6 member missing")
+	}
+	if s.Contains(netip.MustParseAddr("8.8.8.8")) {
+		t.Error("non-member matched")
+	}
+}
+
+func TestReadJSONAPI(t *testing.T) {
+	s := NewSet()
+	err := s.ReadJSON(strings.NewReader(`{"data": [{"prefix": "80.249.208.0/21"}, {"prefix": "195.69.144.0/22"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(netip.MustParseAddr("80.249.209.1")) {
+		t.Error("API-form prefix missing")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	s := NewSet()
+	if err := s.ReadJSON(strings.NewReader(`{"prefixes": ["bogus"]}`)); err == nil {
+		t.Error("expected error for bad prefix")
+	}
+	if err := s.ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("expected error for bad document")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	s := NewSet()
+	csv := "ixp,city,prefix\nAMS-IX,Amsterdam,80.249.208.0/21\nDE-CIX,Frankfurt,80.81.192.0/21\n"
+	if err := s.ReadCSV(strings.NewReader(csv)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || !s.Contains(netip.MustParseAddr("80.81.193.3")) {
+		t.Errorf("csv parse failed: len=%d", s.Len())
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	s := NewSet()
+	if err := s.ReadCSV(strings.NewReader("206.126.236.0/22\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(netip.MustParseAddr("206.126.236.1")) {
+		t.Error("headerless csv failed")
+	}
+}
+
+func TestReadList(t *testing.T) {
+	s := NewSet()
+	in := "# euro-ix export\n80.249.208.0/21\n\n195.69.144.0/22\n"
+	if err := s.ReadList(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if err := s.ReadList(strings.NewReader("nonsense\n")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWriteListRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Add(netip.MustParsePrefix("80.249.208.0/21"))
+	s.Add(netip.MustParsePrefix("195.69.144.0/22"))
+	var buf bytes.Buffer
+	if err := s.WriteList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again := NewSet()
+	if err := again.ReadList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != 2 {
+		t.Errorf("round trip len = %d", again.Len())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Set
+	if s.Contains(netip.MustParseAddr("8.8.8.8")) {
+		t.Error("nil set should contain nothing")
+	}
+}

@@ -1,0 +1,19 @@
+package mrt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the MRT parser never panics on corrupted dumps.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	routes, _ := bgpRoutes()
+	_ = Write(&buf, routes)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		_, _ = Read(bytes.NewReader(in))
+	})
+}

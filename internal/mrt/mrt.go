@@ -1,0 +1,271 @@
+// Package mrt reads and writes MRT routing-table dumps (RFC 6396), the
+// format Routeviews and RIPE RIS archives use — the paper's §4.1 origin
+// data arrives as MRT TABLE_DUMP_V2 RIB files. The implemented subset
+// is what IP→AS mapping needs: the PEER_INDEX_TABLE and the
+// RIB_IPV4_UNICAST / RIB_IPV6_UNICAST subtypes with their AS_PATH
+// attributes (4-byte AS numbers, AS_SEQUENCE and AS_SET segments).
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+)
+
+// MRT constants (RFC 6396).
+const (
+	typeTableDumpV2 = 13
+
+	subtypePeerIndexTable = 1
+	subtypeRIBIPv4Unicast = 2
+	subtypeRIBIPv6Unicast = 4
+
+	attrASPath = 2
+
+	segASSet      = 1
+	segASSequence = 2
+
+	attrFlagExtendedLen = 0x10
+)
+
+// peer is one entry of the PEER_INDEX_TABLE.
+type peer struct {
+	as asn.ASN
+	ip netip.Addr
+}
+
+// Read parses an MRT TABLE_DUMP_V2 stream into RIB routes: one Route
+// per (prefix, peer) RIB entry, mirroring a multi-collector text RIB.
+// Records of other MRT types are skipped.
+func Read(r io.Reader) ([]bgp.Route, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var peers []peer
+	var routes []bgp.Route
+	for recno := 1; ; recno++ {
+		var hdr [12]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return routes, nil
+			}
+			return nil, fmt.Errorf("mrt: record %d header: %w", recno, err)
+		}
+		typ := binary.BigEndian.Uint16(hdr[4:6])
+		sub := binary.BigEndian.Uint16(hdr[6:8])
+		length := binary.BigEndian.Uint32(hdr[8:12])
+		if length > 1<<24 {
+			return nil, fmt.Errorf("mrt: record %d: implausible length %d", recno, length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("mrt: record %d body: %w", recno, err)
+		}
+		if typ != typeTableDumpV2 {
+			continue
+		}
+		switch sub {
+		case subtypePeerIndexTable:
+			ps, err := parsePeerIndex(body)
+			if err != nil {
+				return nil, fmt.Errorf("mrt: record %d: %w", recno, err)
+			}
+			peers = ps
+		case subtypeRIBIPv4Unicast, subtypeRIBIPv6Unicast:
+			rs, err := parseRIB(body, sub == subtypeRIBIPv6Unicast, peers)
+			if err != nil {
+				return nil, fmt.Errorf("mrt: record %d: %w", recno, err)
+			}
+			routes = append(routes, rs...)
+		}
+	}
+}
+
+func parsePeerIndex(b []byte) ([]peer, error) {
+	cur := cursor{b: b}
+	cur.skip(4) // collector BGP ID
+	nameLen := int(cur.u16())
+	cur.skip(nameLen)
+	count := int(cur.u16())
+	peers := make([]peer, 0, count)
+	for i := 0; i < count; i++ {
+		pt := cur.u8()
+		cur.skip(4) // peer BGP ID
+		var ip netip.Addr
+		if pt&0x01 != 0 {
+			ip = netip.AddrFrom16([16]byte(cur.bytes(16)))
+		} else {
+			ip = netip.AddrFrom4([4]byte(cur.bytes(4)))
+		}
+		var as asn.ASN
+		if pt&0x02 != 0 {
+			as = asn.ASN(cur.u32())
+		} else {
+			as = asn.ASN(cur.u16())
+		}
+		if cur.err != nil {
+			return nil, fmt.Errorf("peer index truncated at peer %d", i)
+		}
+		peers = append(peers, peer{as: as, ip: ip})
+	}
+	return peers, nil
+}
+
+func parseRIB(b []byte, v6 bool, peers []peer) ([]bgp.Route, error) {
+	cur := cursor{b: b}
+	cur.skip(4) // sequence number
+	plen := int(cur.u8())
+	nbytes := (plen + 7) / 8
+	pfxBytes := cur.bytes(nbytes)
+	if cur.err != nil {
+		return nil, fmt.Errorf("rib entry truncated in prefix")
+	}
+	var addr netip.Addr
+	if v6 {
+		var a [16]byte
+		copy(a[:], pfxBytes)
+		addr = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], pfxBytes)
+		addr = netip.AddrFrom4(a)
+	}
+	prefix := netip.PrefixFrom(addr, plen)
+	if !prefix.IsValid() {
+		return nil, fmt.Errorf("invalid prefix len %d", plen)
+	}
+	count := int(cur.u16())
+	var routes []bgp.Route
+	for i := 0; i < count; i++ {
+		peerIdx := int(cur.u16())
+		cur.skip(4) // originated time
+		attrLen := int(cur.u16())
+		attrs := cur.bytes(attrLen)
+		if cur.err != nil {
+			return nil, fmt.Errorf("rib entry %d truncated", i)
+		}
+		path, err := parseASPath(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("rib entry %d: %w", i, err)
+		}
+		if len(path) == 0 {
+			continue // no AS_PATH attribute: nothing to map
+		}
+		// Prepend the peer AS when the path does not already start
+		// with it (standard practice when flattening collector RIBs).
+		if peerIdx < len(peers) {
+			pa := peers[peerIdx].as
+			if pa != asn.None && (len(path) == 0 || path[0].AS != pa) {
+				path = append([]bgp.PathElem{{AS: pa}}, path...)
+			}
+		}
+		routes = append(routes, bgp.Route{Prefix: prefix.Masked(), Path: path})
+	}
+	return routes, nil
+}
+
+// parseASPath walks the BGP path attributes and decodes the AS_PATH
+// (4-byte AS numbers, per RFC 6396 §4.3.4).
+func parseASPath(b []byte) ([]bgp.PathElem, error) {
+	cur := cursor{b: b}
+	for cur.err == nil && cur.remaining() > 0 {
+		flags := cur.u8()
+		typ := cur.u8()
+		var alen int
+		if flags&attrFlagExtendedLen != 0 {
+			alen = int(cur.u16())
+		} else {
+			alen = int(cur.u8())
+		}
+		val := cur.bytes(alen)
+		if cur.err != nil {
+			return nil, fmt.Errorf("attribute %d truncated", typ)
+		}
+		if typ != attrASPath {
+			continue
+		}
+		return decodeSegments(val)
+	}
+	return nil, nil
+}
+
+func decodeSegments(b []byte) ([]bgp.PathElem, error) {
+	cur := cursor{b: b}
+	var out []bgp.PathElem
+	for cur.remaining() > 0 {
+		segType := cur.u8()
+		n := int(cur.u8())
+		switch segType {
+		case segASSequence:
+			for i := 0; i < n; i++ {
+				out = append(out, bgp.PathElem{AS: asn.ASN(cur.u32())})
+			}
+		case segASSet:
+			set := make([]asn.ASN, 0, n)
+			for i := 0; i < n; i++ {
+				set = append(set, asn.ASN(cur.u32()))
+			}
+			sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+			out = append(out, bgp.PathElem{Set: set})
+		default:
+			return nil, fmt.Errorf("unknown AS_PATH segment type %d", segType)
+		}
+		if cur.err != nil {
+			return nil, fmt.Errorf("AS_PATH truncated")
+		}
+	}
+	return out, nil
+}
+
+// cursor is a bounds-checked big-endian reader over a byte slice.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if c.off+n > len(c.b) {
+		c.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) skip(n int)         { c.take(n) }
+func (c *cursor) bytes(n int) []byte { return c.take(n) }
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}

@@ -1,0 +1,215 @@
+package mrt
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+)
+
+func sampleRoutes(t *testing.T) []bgp.Route {
+	t.Helper()
+	routes, err := bgp.ReadRoutes(strings.NewReader(`
+8.0.0.0/8|3356 15169
+8.0.0.0/8|174 15169
+8.8.8.0/24|174 3356 15169
+10.10.0.0/16|64496 {64500,64501}
+2001:db8::/32|6939 64499
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return routes
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	routes := sampleRoutes(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, routes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(routes) {
+		t.Fatalf("round trip: %d routes, want %d", len(got), len(routes))
+	}
+	// Read groups by prefix but preserves every (prefix, path) pair.
+	type key struct {
+		prefix string
+		path   string
+	}
+	want := make(map[key]int)
+	for _, r := range routes {
+		want[key{r.Prefix.String(), pathString(r)}]++
+	}
+	for _, r := range got {
+		k := key{r.Prefix.String(), pathString(r)}
+		if want[k] == 0 {
+			t.Errorf("unexpected route %v %s", r.Prefix, pathString(r))
+			continue
+		}
+		want[k]--
+	}
+	for k, n := range want {
+		if n != 0 {
+			t.Errorf("missing route %v ×%d", k, n)
+		}
+	}
+}
+
+func pathString(r bgp.Route) string {
+	var sb strings.Builder
+	for _, e := range r.Path {
+		if e.IsSet() {
+			sb.WriteString("{")
+			for _, a := range e.Set {
+				sb.WriteString(a.String())
+			}
+			sb.WriteString("}")
+		} else {
+			sb.WriteString(e.AS.String())
+		}
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}
+
+func TestReadProducesUsableTable(t *testing.T) {
+	routes := sampleRoutes(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, routes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := bgp.NewTable(got)
+	origin, p, ok := tbl.Origin(netip.MustParseAddr("8.8.8.8"))
+	if !ok || origin != 15169 || p.Bits() != 24 {
+		t.Errorf("LPM over MRT routes: %v %v %v", origin, p, ok)
+	}
+	origin, _, ok = tbl.Origin(netip.MustParseAddr("2001:db8::1"))
+	if !ok || origin != 64499 {
+		t.Errorf("v6 origin: %v %v", origin, ok)
+	}
+}
+
+func TestReadEmptyAndTruncated(t *testing.T) {
+	if routes, err := Read(bytes.NewReader(nil)); err != nil || len(routes) != 0 {
+		t.Errorf("empty stream: %v %v", routes, err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleRoutes(t)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncate mid-record.
+	if _, err := Read(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupt the length field of the first record to something huge.
+	bad := append([]byte(nil), data...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible record length accepted")
+	}
+}
+
+func TestReadSkipsForeignRecordTypes(t *testing.T) {
+	// A BGP4MP (type 16) record followed by a valid dump.
+	var buf bytes.Buffer
+	foreign := make([]byte, 12+4)
+	foreign[4], foreign[5] = 0, 16
+	foreign[11] = 4
+	buf.Write(foreign)
+	if err := Write(&buf, sampleRoutes(t)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sampleRoutes(t)) {
+		t.Errorf("got %d routes", len(got))
+	}
+}
+
+func TestPeerPrepending(t *testing.T) {
+	// A path that does not start with the peer AS gets the peer
+	// prepended; Write always synthesizes peers from path[0], so craft
+	// a record manually: peer AS 65000, path [3356 15169].
+	var body []byte
+	body = append(body, 0, 0, 0, 0) // collector id
+	body = be16(body, 0)            // view name
+	body = be16(body, 1)            // 1 peer
+	body = append(body, 0x02)
+	body = append(body, 0, 0, 0, 0)
+	body = append(body, 0, 0, 0, 0)
+	body = be32(body, 65000)
+	var buf bytes.Buffer
+	if err := writeRecord(&buf, subtypePeerIndexTable, body); err != nil {
+		t.Fatal(err)
+	}
+	var rib []byte
+	rib = be32(rib, 0)
+	rib = append(rib, 8) // /8
+	rib = append(rib, 8) // 8.0.0.0
+	rib = be16(rib, 1)   // one entry
+	rib = be16(rib, 0)   // peer 0
+	rib = append(rib, 0, 0, 0, 0)
+	attr, err := encodeASPathAttr([]bgp.PathElem{{AS: 3356}, {AS: 15169}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib = be16(rib, uint16(len(attr)))
+	rib = append(rib, attr...)
+	if err := writeRecord(&buf, subtypeRIBIPv4Unicast, rib); err != nil {
+		t.Fatal(err)
+	}
+	routes, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	path := routes[0].ASPath()
+	if len(path) != 3 || path[0] != 65000 || path[2] != 15169 {
+		t.Errorf("path = %v, want peer prepended", path)
+	}
+}
+
+func TestLargeSequenceSplitting(t *testing.T) {
+	// Paths longer than 255 ASes must split across segments.
+	var path []bgp.PathElem
+	for i := 0; i < 300; i++ {
+		path = append(path, bgp.PathElem{AS: asn.ASN(1000 + i)})
+	}
+	attr, err := encodeASPathAttr(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseASPath(attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("segments lost elements: %d", len(got))
+	}
+	for i := range got {
+		if got[i].AS != path[i].AS {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}
+
+// bgpRoutes provides a seed corpus for the fuzzer without a *testing.T.
+func bgpRoutes() ([]bgp.Route, error) {
+	return bgp.ReadRoutes(strings.NewReader("8.0.0.0/8|3356 15169\n"))
+}

@@ -1,0 +1,163 @@
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+)
+
+// Write serializes RIB routes as an MRT TABLE_DUMP_V2 stream: one
+// PEER_INDEX_TABLE synthesized from the collector-adjacent ASes of the
+// paths, followed by one RIB record per prefix carrying every path as a
+// separate RIB entry. Read(Write(routes)) reproduces the routes (with
+// prefixes grouped).
+func Write(w io.Writer, routes []bgp.Route) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	// Synthesize the peer table: one peer per distinct first-hop AS.
+	peerIdx := make(map[asn.ASN]int)
+	var peerList []asn.ASN
+	for _, r := range routes {
+		if len(r.Path) == 0 || r.Path[0].IsSet() {
+			continue
+		}
+		first := r.Path[0].AS
+		if _, ok := peerIdx[first]; !ok {
+			peerIdx[first] = 0 // assigned after sorting
+			peerList = append(peerList, first)
+		}
+	}
+	sort.Slice(peerList, func(i, j int) bool { return peerList[i] < peerList[j] })
+	for i, a := range peerList {
+		peerIdx[a] = i
+	}
+	if err := writeRecord(bw, subtypePeerIndexTable, encodePeerIndex(peerList)); err != nil {
+		return err
+	}
+
+	// Group routes by prefix, preserving first-appearance order.
+	type group struct {
+		prefix netip.Prefix
+		routes []bgp.Route
+	}
+	byPrefix := make(map[netip.Prefix]int)
+	var groups []group
+	for _, r := range routes {
+		i, ok := byPrefix[r.Prefix]
+		if !ok {
+			i = len(groups)
+			byPrefix[r.Prefix] = i
+			groups = append(groups, group{prefix: r.Prefix})
+		}
+		groups[i].routes = append(groups[i].routes, r)
+	}
+
+	for seq, g := range groups {
+		sub := uint16(subtypeRIBIPv4Unicast)
+		if g.prefix.Addr().Unmap().Is6() {
+			sub = subtypeRIBIPv6Unicast
+		}
+		body, err := encodeRIB(uint32(seq), g.prefix, g.routes, peerIdx)
+		if err != nil {
+			return err
+		}
+		if err := writeRecord(bw, sub, body); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, subtype uint16, body []byte) error {
+	var hdr [12]byte
+	// Timestamp zero: archived-dump readers ignore it for mapping.
+	binary.BigEndian.PutUint16(hdr[4:6], typeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:8], subtype)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func encodePeerIndex(peers []asn.ASN) []byte {
+	var b []byte
+	b = append(b, 0, 0, 0, 0) // collector BGP ID
+	b = be16(b, 0)            // view name length (empty)
+	b = be16(b, uint16(len(peers)))
+	for _, a := range peers {
+		b = append(b, 0x02)       // peer type: IPv4 address, 4-byte AS
+		b = append(b, 0, 0, 0, 0) // peer BGP ID
+		b = append(b, 0, 0, 0, 0) // peer IPv4 address (unused)
+		b = be32(b, uint32(a))
+	}
+	return b
+}
+
+func encodeRIB(seq uint32, prefix netip.Prefix, routes []bgp.Route, peerIdx map[asn.ASN]int) ([]byte, error) {
+	var b []byte
+	b = be32(b, seq)
+	b = append(b, byte(prefix.Bits()))
+	addr := prefix.Addr().Unmap()
+	nbytes := (prefix.Bits() + 7) / 8
+	b = append(b, addr.AsSlice()[:nbytes]...)
+	b = be16(b, uint16(len(routes)))
+	for _, r := range routes {
+		idx := 0
+		if len(r.Path) > 0 && !r.Path[0].IsSet() {
+			idx = peerIdx[r.Path[0].AS]
+		}
+		b = be16(b, uint16(idx))
+		b = append(b, 0, 0, 0, 0) // originated time
+		attr, err := encodeASPathAttr(r.Path)
+		if err != nil {
+			return nil, fmt.Errorf("mrt: prefix %v: %w", prefix, err)
+		}
+		b = be16(b, uint16(len(attr)))
+		b = append(b, attr...)
+	}
+	return b, nil
+}
+
+func encodeASPathAttr(path []bgp.PathElem) ([]byte, error) {
+	var segs []byte
+	// Emit maximal AS_SEQUENCE runs interleaved with AS_SETs.
+	i := 0
+	for i < len(path) {
+		if path[i].IsSet() {
+			if len(path[i].Set) > 255 {
+				return nil, fmt.Errorf("AS_SET too large (%d)", len(path[i].Set))
+			}
+			segs = append(segs, segASSet, byte(len(path[i].Set)))
+			for _, a := range path[i].Set {
+				segs = be32(segs, uint32(a))
+			}
+			i++
+			continue
+		}
+		j := i
+		for j < len(path) && !path[j].IsSet() && j-i < 255 {
+			j++
+		}
+		segs = append(segs, segASSequence, byte(j-i))
+		for ; i < j; i++ {
+			segs = be32(segs, uint32(path[i].AS))
+		}
+	}
+	// Attribute header: transitive AS_PATH with extended length.
+	attr := []byte{0x40 | attrFlagExtendedLen, attrASPath}
+	attr = be16(attr, uint16(len(segs)))
+	return append(attr, segs...), nil
+}
+
+func be16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func be32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

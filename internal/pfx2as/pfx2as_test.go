@@ -1,0 +1,108 @@
+package pfx2as
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+const sample = `# routeviews-prefix2as
+8.0.0.0	8	3356
+8.8.8.0	24	15169
+10.10.0.0	16	64500_64501
+192.0.2.0	24	64496,64497
+`
+
+func TestRead(t *testing.T) {
+	entries, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Prefix != netip.MustParsePrefix("8.0.0.0/8") || entries[0].Origins[0] != 3356 {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if len(entries[2].Origins) != 2 || entries[2].Origins[0] != 64500 {
+		t.Errorf("MOAS entry = %+v", entries[2])
+	}
+	if len(entries[3].Origins) != 2 {
+		t.Errorf("AS_SET entry = %+v", entries[3])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"8.0.0.0\t8",        // too few fields
+		"bogus\t8\t3356",    // bad addr
+		"8.0.0.0\tx\t3356",  // bad length
+		"8.0.0.0\t99\t3356", // invalid length
+		"8.0.0.0\t8\tlemon", // bad origin
+		"8.0.0.0\t8\t_",     // empty origin
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	entries, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries) {
+		t.Fatalf("round trip: %d vs %d", len(again), len(entries))
+	}
+	for i := range entries {
+		if again[i].Prefix != entries[i].Prefix || len(again[i].Origins) != len(entries[i].Origins) {
+			t.Errorf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestFromRoutes(t *testing.T) {
+	routes, err := bgp.ReadRoutes(strings.NewReader(
+		"8.0.0.0/8|9 3356\n8.0.0.0/8|7 3356\n8.0.0.0/8|7 174\n8.8.8.0/24|9 15169\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := FromRoutes(routes)
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if len(entries[0].Origins) != 2 {
+		t.Errorf("MOAS condensation failed: %+v", entries[0])
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	entries, _ := Read(strings.NewReader(sample))
+	tbl := NewTable(entries)
+	if tbl.Len() != 4 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+	origin, p, ok := tbl.Origin(netip.MustParseAddr("8.8.8.8"))
+	if !ok || origin != 15169 || p.Bits() != 24 {
+		t.Errorf("LPM: %v %v %v", origin, p, ok)
+	}
+	origins, _, ok := tbl.Origins(netip.MustParseAddr("10.10.1.1"))
+	if !ok || len(origins) != 2 {
+		t.Errorf("MOAS lookup: %v %v", origins, ok)
+	}
+	if _, _, ok := tbl.Origin(netip.MustParseAddr("99.0.0.1")); ok {
+		t.Error("miss expected")
+	}
+}

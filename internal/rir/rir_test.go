@@ -1,0 +1,150 @@
+package rir
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+)
+
+const sampleDelegated = `
+2|arin|20180201|5|19830101|20180201|+0000
+arin|*|ipv4|*|3|summary
+arin|US|asn|64496|1|20100101|assigned|org-a
+arin|US|ipv4|192.0.2.0|256|20100101|assigned|org-a
+arin|US|ipv4|198.51.100.0|512|20110101|allocated|org-b
+arin|US|asn|64500|3|20110101|assigned|org-b
+arin|US|ipv6|2001:db8::|32|20120101|assigned|org-a
+arin|US|ipv4|203.0.113.0|256|20130101|reserved|
+`
+
+func TestParseRecords(t *testing.T) {
+	recs, err := ParseRecords(strings.NewReader(sampleDelegated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// version + summary skipped → 6 records.
+	if len(recs) != 6 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Type != "asn" || recs[0].Start != "64496" || recs[0].OpaqueID != "org-a" {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+}
+
+func TestReadOpaqueMatching(t *testing.T) {
+	d, err := Read(strings.NewReader(sampleDelegated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, p, ok := d.Origin(netip.MustParseAddr("192.0.2.77"))
+	if !ok || a != 64496 || p != netip.MustParsePrefix("192.0.2.0/24") {
+		t.Errorf("ipv4 lookup: %v %v %v", a, p, ok)
+	}
+	// 512 addresses → a /23.
+	a, p, ok = d.Origin(netip.MustParseAddr("198.51.101.5"))
+	if !ok || a != 64500 || p.Bits() != 23 {
+		t.Errorf("/23 expansion: %v %v %v", a, p, ok)
+	}
+	a, _, ok = d.Origin(netip.MustParseAddr("2001:db8::1"))
+	if !ok || a != 64496 {
+		t.Errorf("ipv6 lookup: %v %v", a, ok)
+	}
+	// Record without an opaque-id carries no AS identity.
+	if _, _, ok := d.Origin(netip.MustParseAddr("203.0.113.5")); ok {
+		t.Error("opaque-less record should not be indexed")
+	}
+}
+
+func TestReadNonPow2Count(t *testing.T) {
+	in := `
+lacnic|BR|asn|64510|1|20100101|assigned|x
+lacnic|BR|ipv4|10.0.0.0|768|20100101|assigned|x
+`
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"10.0.0.1", "10.0.1.255", "10.0.2.9"} {
+		if a, _, ok := d.Origin(netip.MustParseAddr(s)); !ok || a != 64510 {
+			t.Errorf("%s: %v %v", s, a, ok)
+		}
+	}
+	if _, _, ok := d.Origin(netip.MustParseAddr("10.0.3.1")); ok {
+		t.Error("beyond the 768-address range should miss")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"arin|US|ipv4", // too few fields
+		"arin|US|ipv4|192.0.2.0|abc|20100101|assigned|o",                              // bad count
+		"arin|US|ipv4|bogus|256|20100101|assigned|o\narin|US|asn|1|1|2010|assigned|o", // bad addr with matching asn
+		"arin|US|ipv6|2001:db8::|999|20100101|assigned|o\narin|US|asn|1|1|2010|a|o",   // bad v6 len
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestAddPrefixDirect(t *testing.T) {
+	d := New()
+	d.AddPrefix(netip.MustParsePrefix("192.0.2.0/24"), 65000)
+	if a, _, ok := d.Origin(netip.MustParseAddr("192.0.2.1")); !ok || a != 65000 {
+		t.Errorf("direct add: %v %v", a, ok)
+	}
+	if d.NumPrefixes() != 1 || d.NumRecords() != 1 {
+		t.Errorf("counts: %d %d", d.NumPrefixes(), d.NumRecords())
+	}
+}
+
+func TestWriteRecordsRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Registry: "simrir", CC: "ZZ", Type: "asn", Start: "64496", Value: 1, Date: "20180201", Status: "assigned", OpaqueID: "o1"},
+		{Registry: "simrir", CC: "ZZ", Type: "ipv4", Start: "192.0.2.0", Value: 256, Date: "20180201", Status: "allocated", OpaqueID: "o1"},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, "simrir", recs); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _, ok := d.Origin(netip.MustParseAddr("192.0.2.9")); !ok || a != 64496 {
+		t.Errorf("round trip: %v %v", a, ok)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	d := New()
+	d.AddPrefix(netip.MustParsePrefix("192.0.2.0/24"), 1)
+	d.AddPrefix(netip.MustParsePrefix("198.51.100.0/24"), 2)
+	var seen []asn.ASN
+	d.Walk(func(p netip.Prefix, a asn.ASN) bool {
+		seen = append(seen, a)
+		return true
+	})
+	if len(seen) != 2 {
+		t.Errorf("walk saw %v", seen)
+	}
+}
+
+func TestDuplicateOpaqueKeepsFirst(t *testing.T) {
+	in := `
+x|US|asn|100|1|2010|assigned|dup
+x|US|asn|200|1|2010|assigned|dup
+x|US|ipv4|192.0.2.0|256|2010|assigned|dup
+`
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _, _ := d.Origin(netip.MustParseAddr("192.0.2.1")); a != 100 {
+		t.Errorf("duplicate opaque-id resolution: %v", a)
+	}
+}

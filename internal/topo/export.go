@@ -1,0 +1,205 @@
+package topo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/ip2as"
+	"repro/internal/ixp"
+	"repro/internal/rir"
+)
+
+// export materializes the measurement datasets bdrmapIT consumes: the
+// multi-collector BGP RIB, the RIR extended delegations, and the IXP
+// prefix directory.
+func (in *Internet) export() {
+	in.exportAnnouncements()
+	in.exportRIB()
+	in.exportRIR()
+	in.exportIXPs()
+}
+
+// announcement is one (prefix, origin) pair injected into BGP.
+type announcement struct {
+	prefix netip.Prefix
+	origin asn.ASN
+	// halfView restricts the announcement to half the collectors (used
+	// for the weaker MOAS origin so the true owner stays dominant).
+	halfView bool
+}
+
+func (in *Internet) exportAnnouncements() {
+	in.announcements = nil
+	others := make([]*AS, len(in.ASList))
+	copy(others, in.ASList)
+
+	for _, a := range in.ASList {
+		switch {
+		case a.ReallocFrom != nil:
+			// Reallocated customers: ground truth owner of the block.
+			in.prefixOwner[a.ReallocPrefix] = a
+			if a.ReallocFlavor == ReallocVisible || a.ReallocFlavor == ReallocInvisible {
+				// Announce the host /24; the second /24 stays silent,
+				// covered by the provider's aggregate.
+				in.announcements = append(in.announcements,
+					announcement{prefix: a.HostPrefix, origin: a.ASN})
+			}
+		case a.InfraRIROnly:
+			// Announce only the host half; infrastructure space is
+			// resolvable through RIR delegations alone.
+			in.prefixOwner[a.Space] = a
+			hostHalf := netip.PrefixFrom(a.Space.Addr(), 20)
+			in.announcements = append(in.announcements,
+				announcement{prefix: hostHalf, origin: a.ASN})
+		default:
+			in.prefixOwner[a.Space] = a
+			in.announcements = append(in.announcements,
+				announcement{prefix: a.Space, origin: a.ASN})
+		}
+		// Occasional MOAS: another AS also announces the host /24 to
+		// half the collectors.
+		if in.rng.Float64() < in.Cfg.PMOAS && a.ReallocFrom == nil {
+			other := others[in.rng.Intn(len(others))]
+			if other != a {
+				in.announcements = append(in.announcements,
+					announcement{prefix: a.HostPrefix, origin: a.ASN},
+					announcement{prefix: a.HostPrefix, origin: other.ASN, halfView: true})
+			}
+		}
+	}
+	// IXP LAN leaks: a member originates the LAN prefix.
+	for _, x := range in.IXPs {
+		if len(x.Members) > 0 && in.rng.Float64() < in.Cfg.PIXPLanInBGP {
+			m := x.Members[in.rng.Intn(len(x.Members))]
+			in.announcements = append(in.announcements,
+				announcement{prefix: x.Prefix, origin: m.ASN, halfView: true})
+		}
+	}
+}
+
+// collectors picks the route-collector peer ASes: a mix of tier-1 and
+// transit networks, deterministically.
+func (in *Internet) collectors() []asn.ASN {
+	var pool []asn.ASN
+	for _, a := range in.ASList {
+		if a.Type == Tier1 || a.Type == Transit {
+			pool = append(pool, a.ASN)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	n := in.Cfg.Collectors
+	if n <= 0 || n > len(pool) {
+		n = len(pool)
+	}
+	// Spread across the pool.
+	out := make([]asn.ASN, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[i*len(pool)/n])
+	}
+	return out
+}
+
+func (in *Internet) exportRIB() {
+	cols := in.collectors()
+	for _, ann := range in.announcements {
+		use := cols
+		if ann.halfView {
+			use = cols[:(len(cols)+1)/2]
+		}
+		for _, c := range use {
+			path, ok := in.BGPPathTo(c, ann.origin)
+			if !ok {
+				continue
+			}
+			elems := make([]bgp.PathElem, len(path))
+			for i, a := range path {
+				elems[i] = bgp.PathElem{AS: a}
+			}
+			in.Routes = append(in.Routes, bgp.Route{Prefix: ann.prefix, Path: elems})
+		}
+	}
+}
+
+func (in *Internet) exportRIR() {
+	in.Delegations = rir.New()
+	for _, a := range in.ASList {
+		if a.ReallocFrom != nil {
+			continue // reallocated space is delegated to the provider
+		}
+		in.Delegations.AddPrefix(a.Space, a.ASN)
+	}
+}
+
+// RIRRecords renders the delegation data in the real extended file
+// format (for the file-based CLI path).
+func (in *Internet) RIRRecords() []rir.Record {
+	var recs []rir.Record
+	for _, a := range in.ASList {
+		if a.ReallocFrom != nil {
+			continue
+		}
+		oid := fmt.Sprintf("org-%d", a.ASN)
+		recs = append(recs, rir.Record{
+			Registry: "simrir", CC: "ZZ", Type: "asn",
+			Start: fmt.Sprintf("%d", uint32(a.ASN)), Value: 1,
+			Date: "20180201", Status: "assigned", OpaqueID: oid,
+		})
+		recs = append(recs, rir.Record{
+			Registry: "simrir", CC: "ZZ", Type: "ipv4",
+			Start: a.Space.Addr().String(), Value: 1 << 16,
+			Date: "20180201", Status: "allocated", OpaqueID: oid,
+		})
+	}
+	return recs
+}
+
+func (in *Internet) exportIXPs() {
+	in.IXPPrefixes = ixp.NewSet()
+	for _, x := range in.IXPs {
+		in.IXPPrefixes.Add(x.Prefix)
+	}
+}
+
+// Resolver assembles the layered IP→AS resolver over the exported
+// datasets, exactly as the tool consumes them.
+func (in *Internet) Resolver() *ip2as.Resolver {
+	return &ip2as.Resolver{
+		IXPs:        in.IXPPrefixes,
+		Table:       bgp.NewTable(in.Routes),
+		Delegations: in.Delegations,
+	}
+}
+
+// ASPaths returns the cleaned AS paths of the exported RIB, the input
+// to relationship inference.
+func (in *Internet) ASPaths() [][]asn.ASN {
+	out := make([][]asn.ASN, 0, len(in.Routes))
+	for _, r := range in.Routes {
+		out = append(out, r.ASPath())
+	}
+	return out
+}
+
+// RoutedPrefixes returns every BGP-announced prefix — the target list
+// bdrmap's reactive collection probes ("every prefix routed in the
+// Internet").
+func (in *Internet) RoutedPrefixes() []netip.Prefix {
+	seen := make(map[netip.Prefix]bool)
+	var out []netip.Prefix
+	for _, ann := range in.announcements {
+		if !seen[ann.prefix] {
+			seen[ann.prefix] = true
+			out = append(out, ann.prefix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}

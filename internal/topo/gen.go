@@ -1,0 +1,586 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/asrel"
+	"repro/internal/netutil"
+)
+
+// ReallocFlavor distinguishes how a reallocated-prefix customer appears
+// in BGP (see DESIGN.md and paper §4.4/§6.1.2).
+type ReallocFlavor uint8
+
+const (
+	// ReallocNone: the AS uses its own provider-independent space.
+	ReallocNone ReallocFlavor = iota
+	// ReallocVisible: the customer announces its reallocated host /24
+	// through the reallocating provider — the relationship is visible
+	// in BGP (exercises the §6.1.2 vote correction).
+	ReallocVisible
+	// ReallocInvisible: the customer announces the host /24 only
+	// through its other provider; the link to the reallocating provider
+	// is invisible in BGP (exercises the §4.4 destination cleanup).
+	ReallocInvisible
+	// ReallocSilent: the customer announces nothing; its space is only
+	// visible through the provider's covering route.
+	ReallocSilent
+)
+
+// Edge is one ground-truth interdomain adjacency, with the interfaces of
+// the point-to-point link (or IXP LAN ports) that realize it.
+type Edge struct {
+	A, B *AS // A.ASN < B.ASN
+	// Rel: -1 A provider of B, +1 B provider of A, 0 peers.
+	Rel int
+	// IXP is non-nil for public peering across an exchange LAN.
+	IXP *IXP
+	// AIface/BIface are A's and B's interfaces on the link.
+	AIface, BIface *Iface
+	// BGPInvisible marks edges never seen in BGP paths (backup/static
+	// arrangements); forwarding still uses them from the provider side.
+	BGPInvisible bool
+}
+
+func pairKey(a, b asn.ASN) [2]asn.ASN {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]asn.ASN{a, b}
+}
+
+// Generate builds a complete synthetic Internet from cfg. Generation is
+// deterministic for a given configuration.
+func Generate(cfg Config) (*Internet, error) {
+	if cfg.NumTier1 < 2 {
+		return nil, fmt.Errorf("topo: need at least 2 tier-1 ASes, got %d", cfg.NumTier1)
+	}
+	if cfg.HostsPerAS <= 0 {
+		cfg.HostsPerAS = 2
+	}
+	in := &Internet{
+		Cfg:         cfg,
+		ASes:        make(map[asn.ASN]*AS),
+		Rels:        asrel.New(),
+		IfaceByAddr: make(map[netip.Addr]*Iface),
+		prefixOwner: make(map[netip.Prefix]*AS),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		edges:       make(map[[2]asn.ASN]*Edge),
+	}
+	in.makeASes()
+	in.makeRelationships()
+	in.makeIXPs()
+	in.assignAddressSpace()
+	in.makeRouters()
+	in.makeInterdomainLinks()
+	in.assignBehaviours()
+	in.initRouting()
+	in.export()
+	if cfg.EnableIPv6 {
+		in.enableIPv6()
+	}
+	return in, nil
+}
+
+// makeASes creates the AS population with stable, role-coded ASNs.
+func (in *Internet) makeASes() {
+	add := func(a asn.ASN, t ASType) *AS {
+		as := &AS{ASN: a, Type: t, Borders: make(map[asn.ASN]*Router)}
+		in.ASes[a] = as
+		in.ASList = append(in.ASList, as)
+		return as
+	}
+	for i := 0; i < in.Cfg.NumTier1; i++ {
+		add(asn.ASN(10+i), Tier1)
+	}
+	for i := 0; i < in.Cfg.NumTransit; i++ {
+		add(asn.ASN(100+i), Transit)
+	}
+	for i := 0; i < in.Cfg.NumAccess; i++ {
+		add(asn.ASN(300+i), Access)
+	}
+	for i := 0; i < in.Cfg.NumRE; i++ {
+		add(asn.ASN(450+i), RE)
+	}
+	for i := 0; i < in.Cfg.NumStub; i++ {
+		add(asn.ASN(1000+i), Stub)
+	}
+	sort.Slice(in.ASList, func(i, j int) bool { return in.ASList[i].ASN < in.ASList[j].ASN })
+}
+
+func (in *Internet) byType(t ASType) []*AS {
+	var out []*AS
+	for _, a := range in.ASList {
+		if a.Type == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// addRel records a ground-truth relationship (and its Edge placeholder).
+func (in *Internet) addRel(provider, customer *AS, rel int) *Edge {
+	key := pairKey(provider.ASN, customer.ASN)
+	if e, ok := in.edges[key]; ok {
+		return e
+	}
+	a, b := provider, customer
+	r := rel
+	if b.ASN < a.ASN {
+		a, b = b, a
+		r = -rel
+	}
+	e := &Edge{A: a, B: b, Rel: r}
+	in.edges[key] = e
+	switch rel {
+	case -1:
+		in.Rels.AddP2C(provider.ASN, customer.ASN)
+		provider.Customers = append(provider.Customers, customer)
+		customer.Providers = append(customer.Providers, provider)
+	case 0:
+		in.Rels.AddP2P(provider.ASN, customer.ASN)
+		provider.Peers = append(provider.Peers, customer)
+		customer.Peers = append(customer.Peers, provider)
+	}
+	return e
+}
+
+// pick chooses n distinct random members of pool, weighted toward the
+// front (earlier ASes accumulate more customers, a preferential-
+// attachment-like skew).
+func (in *Internet) pick(pool []*AS, n int) []*AS {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	chosen := make(map[*AS]bool, n)
+	out := make([]*AS, 0, n)
+	for len(out) < n {
+		// Square the uniform draw to bias toward low indices.
+		f := in.rng.Float64()
+		idx := int(f * f * float64(len(pool)))
+		if idx >= len(pool) {
+			idx = len(pool) - 1
+		}
+		a := pool[idx]
+		if !chosen[a] {
+			chosen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (in *Internet) makeRelationships() {
+	tier1 := in.byType(Tier1)
+	transit := in.byType(Transit)
+	access := in.byType(Access)
+	re := in.byType(RE)
+	stubs := in.byType(Stub)
+
+	// Tier-1 clique: full mesh of peering.
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			in.addRel(tier1[i], tier1[j], 0)
+		}
+	}
+	// Transit: providers drawn from tier-1 plus earlier transit.
+	for idx, t := range transit {
+		pool := append(append([]*AS{}, tier1...), transit[:idx]...)
+		for _, p := range in.pick(pool, 1+in.rng.Intn(2)) {
+			in.addRel(p, t, -1)
+		}
+		// Occasional lateral peering among transit.
+		if idx > 0 && in.rng.Float64() < 0.3 {
+			other := transit[in.rng.Intn(idx)]
+			if other != t {
+				in.addRel(t, other, 0)
+			}
+		}
+	}
+	// Access: multihomed to transit/tier-1.
+	upstreamPool := append(append([]*AS{}, tier1...), transit...)
+	for _, a := range access {
+		for _, p := range in.pick(upstreamPool, 2+in.rng.Intn(2)) {
+			in.addRel(p, a, -1)
+		}
+	}
+	// R&E: one or two upstreams, heavy mutual peering.
+	for i, r := range re {
+		for _, p := range in.pick(upstreamPool, 1+in.rng.Intn(2)) {
+			in.addRel(p, r, -1)
+		}
+		for j := 0; j < i; j++ {
+			if in.rng.Float64() < 0.5 {
+				in.addRel(r, re[j], 0)
+			}
+		}
+	}
+	// Stubs: one or two providers from transit/access (and rarely R&E).
+	stubPool := append(append(append([]*AS{}, transit...), access...), re...)
+	for _, s := range stubs {
+		n := 1
+		if in.rng.Float64() < 0.45 {
+			n = 2
+		}
+		for _, p := range in.pick(stubPool, n) {
+			in.addRel(p, s, -1)
+		}
+	}
+}
+
+func (in *Internet) makeIXPs() {
+	candidates := append(append(in.byType(Transit), in.byType(Access)...), in.byType(RE)...)
+	for k := 0; k < in.Cfg.NumIXPs; k++ {
+		x := &IXP{
+			Name:   fmt.Sprintf("IXP-%d", k+1),
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{11, 0, byte(k), 0}), 24),
+			ports:  make(map[asn.ASN]*Iface),
+			nextIP: 1,
+		}
+		// Sample members.
+		nMembers := 6 + in.rng.Intn(10)
+		members := in.pick(candidates, nMembers)
+		sort.Slice(members, func(i, j int) bool { return members[i].ASN < members[j].ASN })
+		x.Members = members
+		in.IXPs = append(in.IXPs, x)
+		// Peerings across the LAN between member pairs that are not
+		// already related.
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if in.Rels.HasRelationship(a.ASN, b.ASN) {
+					continue
+				}
+				if in.rng.Float64() < 0.4 {
+					e := in.addRel(a, b, 0)
+					e.IXP = x
+				}
+			}
+		}
+	}
+}
+
+// assignAddressSpace gives each AS its aggregate (or reallocated block)
+// and decides the BGP-visibility flavours.
+func (in *Internet) assignAddressSpace() {
+	idx := 0
+	unannIdx := 0
+	for _, a := range in.ASList {
+		base := netip.AddrFrom4([4]byte{byte(20 + idx/256), byte(idx % 256), 0, 0})
+		a.Space = netip.PrefixFrom(base, 16)
+		idx++
+
+		a.UnannLinks = in.rng.Float64() < in.Cfg.PUnannouncedLinks && unannIdx < 250
+		if a.UnannLinks {
+			a.unannBase = netip.PrefixFrom(netip.AddrFrom4([4]byte{9, byte(unannIdx), 0, 0}), 16)
+			unannIdx++
+		}
+		a.InfraRIROnly = !a.UnannLinks && in.rng.Float64() < in.Cfg.PInfraRIROnly
+
+		switch a.Type {
+		case Stub:
+			a.Firewalled = in.rng.Float64() < in.Cfg.PFirewallStub
+			if in.rng.Float64() < in.Cfg.PReallocStub && len(a.Providers) > 0 {
+				in.setupRealloc(a)
+			}
+		case Transit:
+			if len(a.Customers) > 0 && len(a.Customers) <= 3 &&
+				in.rng.Float64() < in.Cfg.PHiddenTransit {
+				a.Hidden = true
+			}
+		}
+		if a.ReallocFrom == nil {
+			a.HostPrefix = netip.PrefixFrom(a.Space.Addr(), 24)
+		}
+		for h := 0; h < in.Cfg.HostsPerAS; h++ {
+			a.Hosts = append(a.Hosts, netutil.NthAddr(a.HostPrefix, uint32(h+1)))
+		}
+	}
+}
+
+// setupRealloc converts stub a into a reallocated-prefix customer of its
+// first provider: a /23 carved from the provider's aggregate, host /24
+// first, link/silent /24 second.
+func (in *Internet) setupRealloc(a *AS) {
+	p := a.Providers[0]
+	block, ok := p.takeReallocBlock()
+	if !ok {
+		return
+	}
+	a.ReallocFrom = p
+	a.ReallocPrefix = block
+	a.HostPrefix = netip.PrefixFrom(block.Addr(), 24)
+	switch {
+	case len(a.Providers) >= 2:
+		if in.rng.Float64() < 0.6 {
+			a.ReallocFlavor = ReallocVisible
+		} else {
+			a.ReallocFlavor = ReallocInvisible
+			// The link to the reallocating provider is invisible in BGP.
+			if e := in.edges[pairKey(p.ASN, a.ASN)]; e != nil {
+				e.BGPInvisible = true
+			}
+		}
+	case in.rng.Float64() < 0.5:
+		a.ReallocFlavor = ReallocVisible
+	default:
+		// A silent customer: no announcements, no RIR identity — an
+		// organization without BGP presence. Its routers belong to the
+		// provider for ground-truth purposes (no dataset could ever
+		// name it).
+		a.ReallocFlavor = ReallocSilent
+		a.ReallocSilent = true
+	}
+}
+
+// takeReallocBlock carves the next /23 reallocation block out of the
+// provider's aggregate (offsets 2, 4, 6, … of the third octet).
+func (p *AS) takeReallocBlock() (netip.Prefix, bool) {
+	off := 2 + 2*p.reallocCount
+	if off >= 128 {
+		return netip.Prefix{}, false
+	}
+	p.reallocCount++
+	b := p.Space.Addr().As4()
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{b[0], b[1], byte(off), 0}), 23), true
+}
+
+// nextLoopback allocates a loopback address for a router of AS a.
+func (a *AS) nextLoopback() netip.Addr {
+	if a.ReallocFrom != nil {
+		// Loopbacks from the upper /24 of the realloc block.
+		b := a.ReallocPrefix.Addr().As4()
+		a.nextLoop++
+		return netip.AddrFrom4([4]byte{b[0], b[1], b[2] + 1, byte(200 + a.nextLoop)})
+	}
+	b := a.Space.Addr().As4()
+	a.nextLoop++
+	off := a.nextLoop // into x.x.224.0/20
+	return netip.AddrFrom4([4]byte{b[0], b[1], byte(224 + off/256), byte(off % 256)})
+}
+
+// nextLinkNet allocates the next /30 from the AS's infrastructure pool,
+// or from its unannounced pool when flagged.
+func (a *AS) nextLinkNetwork() netip.Prefix {
+	if a.ReallocFrom != nil {
+		// Links from the second /24 of the realloc block.
+		b := a.ReallocPrefix.Addr().As4()
+		net := a.nextLinkNet
+		a.nextLinkNet += 4
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{b[0], b[1], b[2] + 1, byte(net)}), 30)
+	}
+	var base [4]byte
+	if a.UnannLinks {
+		base = a.unannBase.Addr().As4()
+		net := a.nextLinkNet
+		a.nextLinkNet += 4
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(net / 256), byte(net % 256)}), 30)
+	}
+	base = a.Space.Addr().As4()
+	net := a.nextLinkNet
+	a.nextLinkNet += 4
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(240 + net/256), byte(net % 256)}), 30)
+}
+
+// coreCount returns how many core routers an AS of this type gets.
+func coreCount(t ASType, hidden bool) int {
+	if hidden {
+		return 1
+	}
+	switch t {
+	case Tier1:
+		return 4
+	case Transit:
+		return 3
+	case Access:
+		return 3
+	case RE:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// makeRouters creates each AS's core chain, host device, and the
+// internal links between them.
+func (in *Internet) makeRouters() {
+	for _, a := range in.ASList {
+		n := coreCount(a.Type, a.Hidden)
+		for c := 0; c < n; c++ {
+			r := in.newRouter(a)
+			in.addIface(r, a.nextLoopback())
+			a.Cores = append(a.Cores, r)
+			if c > 0 {
+				in.linkRouters(a.Cores[c-1], r, a)
+			}
+		}
+		// Host device: carries the probe-target addresses, attached to
+		// the last core.
+		h := in.newRouter(a)
+		h.IsHost = true
+		for _, addr := range a.Hosts {
+			in.addIface(h, addr)
+		}
+		a.Host = h
+		in.linkRouters(a.Cores[len(a.Cores)-1], h, a)
+	}
+}
+
+// linkRouters creates an internal point-to-point link between two
+// routers of AS a, numbered from a's pool.
+func (in *Internet) linkRouters(r1, r2 *Router, a *AS) {
+	net := a.nextLinkNetwork()
+	i1 := in.addIface(r1, netutil.NthAddr(net, 1))
+	i2 := in.addIface(r2, netutil.NthAddr(net, 2))
+	i1.Peer, i2.Peer = i2, i1
+	r1.connect(r2, i1)
+	r2.connect(r1, i2)
+}
+
+// borderRouterFor returns (creating if needed) the border router of AS a
+// facing neighbour nbr. Border routers aggregate up to four adjacencies
+// and connect to a home core router.
+func (in *Internet) borderRouterFor(a *AS, nbr asn.ASN) *Router {
+	if r, ok := a.Borders[nbr]; ok {
+		return r
+	}
+	if a.Hidden || a.Type == Stub {
+		// Single-router edge: the lone core handles all adjacencies.
+		r := a.Cores[0]
+		a.Borders[nbr] = r
+		return r
+	}
+	var r *Router
+	if len(a.borderList) > 0 && a.borderLoad[len(a.borderList)-1] < 4 {
+		r = a.borderList[len(a.borderList)-1]
+		a.borderLoad[len(a.borderList)-1]++
+	} else {
+		r = in.newRouter(a)
+		in.addIface(r, a.nextLoopback())
+		home := a.Cores[len(a.borderList)%len(a.Cores)]
+		in.linkRouters(home, r, a)
+		a.borderList = append(a.borderList, r)
+		a.borderLoad = append(a.borderLoad, 1)
+	}
+	a.Borders[nbr] = r
+	return r
+}
+
+// makeInterdomainLinks realizes every relationship edge as addressed
+// interfaces, following operational conventions: transit links numbered
+// from the provider (usually), private peering from the lower ASN, IXP
+// peering from the exchange LAN. Hidden-transit ASes always defer to
+// the neighbour's space.
+func (in *Internet) makeInterdomainLinks() {
+	keys := make([][2]asn.ASN, 0, len(in.edges))
+	for k := range in.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		e := in.edges[k]
+		ra := in.borderRouterFor(e.A, e.B.ASN)
+		rb := in.borderRouterFor(e.B, e.A.ASN)
+		if e.IXP != nil {
+			e.AIface = e.IXP.port(in, ra, e.A)
+			e.BIface = e.IXP.port(in, rb, e.B)
+			ra.connect(rb, e.AIface)
+			rb.connect(ra, e.BIface)
+			continue
+		}
+		// Choose the addressing side.
+		owner := in.linkAddressOwner(e)
+		net := owner.nextLinkNetwork()
+		ia := in.addIface(ra, netutil.NthAddr(net, 1))
+		ib := in.addIface(rb, netutil.NthAddr(net, 2))
+		ia.Peer, ib.Peer = ib, ia
+		e.AIface, e.BIface = ia, ib
+		ra.connect(rb, ia)
+		rb.connect(ra, ib)
+	}
+}
+
+// linkAddressOwner picks which AS's space numbers the link.
+func (in *Internet) linkAddressOwner(e *Edge) *AS {
+	provider, customer := e.providerCustomer()
+	if provider != nil {
+		// Hidden transit always hides: provider-side links from the
+		// provider, customer-side links from the customer.
+		if provider.Hidden {
+			return customer
+		}
+		if customer.Hidden {
+			return provider
+		}
+		// Reallocated customers number the link to the reallocating
+		// provider from the reallocated block (Fig. 10).
+		if customer.ReallocFrom == provider {
+			return customer
+		}
+		if in.rng.Float64() < in.Cfg.PCustomerAddrLink {
+			return customer
+		}
+		return provider
+	}
+	// Private peering: either side numbers the link.
+	if in.rng.Float64() < 0.5 {
+		return e.A
+	}
+	return e.B
+}
+
+// providerCustomer returns (provider, customer) for transit edges, or
+// (nil, nil) for peering.
+func (e *Edge) providerCustomer() (*AS, *AS) {
+	switch e.Rel {
+	case -1:
+		return e.A, e.B
+	case 1:
+		return e.B, e.A
+	default:
+		return nil, nil
+	}
+}
+
+// port returns (creating if needed) the IXP LAN interface of router r.
+func (x *IXP) port(in *Internet, r *Router, a *AS) *Iface {
+	if i, ok := x.ports[a.ASN]; ok {
+		return i
+	}
+	addr := netutil.NthAddr(x.Prefix, x.nextIP)
+	x.nextIP++
+	i := in.addIface(r, addr)
+	i.LAN = x
+	x.ports[a.ASN] = i
+	return i
+}
+
+// assignBehaviours sets per-router reply quirks after all interfaces
+// exist.
+func (in *Internet) assignBehaviours() {
+	for _, r := range in.Routers {
+		if r.IsHost {
+			continue
+		}
+		if len(r.Ifaces) >= 3 && in.rng.Float64() < in.Cfg.PThirdPartyRouter {
+			// Reply always from one fixed interface (often an interdomain
+			// one → third-party artifact).
+			r.ThirdPartyIface = r.Ifaces[in.rng.Intn(len(r.Ifaces))]
+		}
+		if in.rng.Float64() < in.Cfg.PUDPCanonical {
+			r.UDPCanonical = r.Ifaces[0].Addr // the loopback
+		}
+		if in.rng.Float64() < 0.01 {
+			r.Unresponsive = true
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package topo
+
+import (
+	"net/netip"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/traceroute"
+)
+
+// IPv6 support: the simulator exposes a dual-stack view through a
+// structure-preserving embedding of its IPv4 address space into
+// 2a0a::/16 — every v4 interface address, announced prefix, RIR
+// delegation, and IXP LAN gets an IPv6 twin with identical
+// longest-prefix-match semantics. A v6 traceroute campaign is the v4
+// campaign seen through the embedding, so the inference heuristics
+// (which only compare addresses, origins, and prefixes) face exactly
+// the same problem in both families — mirroring how the published
+// tool's IPv6 support reuses the IPv4 algorithm unchanged.
+//
+// The embedding is applied after generation and consumes no
+// randomness, so enabling IPv6 never perturbs IPv4 results.
+
+// v6Base is the high 16 bits of the embedding prefix (2a0a::/16).
+const v6Base = 0x2a0a
+
+// V6Of maps a simulator IPv4 address to its IPv6 twin:
+// 2a0a:AABB:CCDD:: for the v4 address AA.BB.CC.DD.
+func V6Of(a netip.Addr) netip.Addr {
+	v4 := a.Unmap().As4()
+	var b [16]byte
+	b[0] = byte(v6Base >> 8)
+	b[1] = byte(v6Base & 0xff)
+	copy(b[2:6], v4[:])
+	return netip.AddrFrom16(b)
+}
+
+// V6Prefix maps a simulator IPv4 prefix to its IPv6 twin, preserving
+// containment: p ⊆ q ⇔ V6Prefix(p) ⊆ V6Prefix(q).
+func V6Prefix(p netip.Prefix) netip.Prefix {
+	return netip.PrefixFrom(V6Of(p.Addr()), 16+p.Bits())
+}
+
+// V4Of inverts V6Of for addresses inside the embedding prefix;
+// ok is false otherwise.
+func V4Of(a netip.Addr) (netip.Addr, bool) {
+	if !a.Is6() || a.Is4In6() {
+		return netip.Addr{}, false
+	}
+	b := a.As16()
+	if int(b[0])<<8|int(b[1]) != v6Base {
+		return netip.Addr{}, false
+	}
+	for _, x := range b[6:] {
+		if x != 0 {
+			return netip.Addr{}, false
+		}
+	}
+	return netip.AddrFrom4([4]byte(b[2:6])), true
+}
+
+// enableIPv6 installs the dual-stack view: v6 interface registrations,
+// v6 RIB routes, v6 RIR delegations, v6 IXP prefixes, and v6 ground
+// truth. Runs after export(); consumes no randomness.
+func (in *Internet) enableIPv6() {
+	// Interfaces: register each v6 twin against the same Iface, so
+	// ground-truth lookups work for both families.
+	v4Addrs := make([]netip.Addr, 0, len(in.IfaceByAddr))
+	for a := range in.IfaceByAddr {
+		v4Addrs = append(v4Addrs, a)
+	}
+	for _, a := range v4Addrs {
+		in.IfaceByAddr[V6Of(a)] = in.IfaceByAddr[a]
+	}
+	// RIB: one v6 route per v4 route, same AS path.
+	v4Routes := in.Routes
+	for _, r := range v4Routes {
+		in.Routes = append(in.Routes, bgp.Route{
+			Prefix: V6Prefix(r.Prefix),
+			Path:   r.Path,
+		})
+	}
+	// RIR delegations (collect first: the index must not be mutated
+	// mid-walk).
+	type deleg struct {
+		p netip.Prefix
+		a asn.ASN
+	}
+	var delegs []deleg
+	in.Delegations.Walk(func(p netip.Prefix, a asn.ASN) bool {
+		delegs = append(delegs, deleg{p, a})
+		return true
+	})
+	for _, d := range delegs {
+		in.Delegations.AddPrefix(V6Prefix(d.p), d.a)
+	}
+	// IXP LANs.
+	var ixpV4 []netip.Prefix
+	in.IXPPrefixes.Walk(func(p netip.Prefix) bool {
+		ixpV4 = append(ixpV4, p)
+		return true
+	})
+	for _, p := range ixpV4 {
+		in.IXPPrefixes.Add(V6Prefix(p))
+	}
+	// Ground-truth prefix ownership.
+	for p, a := range clonePrefixOwner(in.prefixOwner) {
+		in.prefixOwner[V6Prefix(p)] = a
+	}
+}
+
+func clonePrefixOwner(m map[netip.Prefix]*AS) map[netip.Prefix]*AS {
+	out := make(map[netip.Prefix]*AS, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TranslateTraceV6 returns the IPv6 view of a v4 trace: every address
+// mapped through the embedding.
+func TranslateTraceV6(t *traceroute.Trace) *traceroute.Trace {
+	out := &traceroute.Trace{
+		VP:   t.VP,
+		Dst:  V6Of(t.Dst),
+		Stop: t.Stop,
+	}
+	if t.Src.IsValid() {
+		out.Src = V6Of(t.Src)
+	}
+	for _, h := range t.Hops {
+		out.Hops = append(out.Hops, traceroute.Hop{
+			Addr:      V6Of(h.Addr),
+			ProbeTTL:  h.ProbeTTL,
+			Reply:     h.Reply,
+			RTTMillis: h.RTTMillis,
+		})
+	}
+	return out
+}
+
+// RunCampaignV6 runs the traceroute campaign and returns its IPv6 view.
+func (in *Internet) RunCampaignV6(vps []VP, targets []netip.Addr) []*traceroute.Trace {
+	v4 := in.RunCampaign(vps, targets)
+	out := make([]*traceroute.Trace, len(v4))
+	for i, t := range v4 {
+		out[i] = TranslateTraceV6(t)
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package topo
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+
+	"repro/internal/asn"
+)
+
+func sortPairKeys(keys [][2]asn.ASN) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+}
+
+// routingState caches per-destination valley-free routing trees.
+// BGP-invisible edges are excluded: they carry no announcements, so
+// only the local override in nextHop uses them. The cache is guarded
+// so campaigns can simulate traceroutes from many goroutines.
+type routingState struct {
+	mu    sync.RWMutex
+	trees map[asn.ASN]*routeTree
+}
+
+// routeTree is the outcome of simulating BGP route propagation toward
+// one destination AS under Gao–Rexford export rules with the standard
+// preference order (customer > peer > provider, then shortest path,
+// then lowest next-hop ASN).
+type routeTree struct {
+	dst asn.ASN
+	// class: 0 unreachable, 1 customer route, 2 peer route, 3 provider
+	// route; dist is the AS-path length of the best route; next is the
+	// chosen next-hop AS.
+	class map[asn.ASN]uint8
+	dist  map[asn.ASN]int
+	next  map[asn.ASN]asn.ASN
+}
+
+const (
+	clsNone     uint8 = 0
+	clsCustomer uint8 = 1
+	clsPeer     uint8 = 2
+	clsProvider uint8 = 3
+)
+
+func (in *Internet) initRouting() {
+	in.routing = &routingState{trees: make(map[asn.ASN]*routeTree)}
+}
+
+// visibleNeighbors enumerates d's neighbours over BGP-visible edges,
+// split by relationship from d's point of view.
+func (in *Internet) visibleNeighbors(a *AS) (providers, customers, peers []*AS) {
+	appendVisible := func(dst []*AS, nbrs []*AS) []*AS {
+		for _, n := range nbrs {
+			if e := in.edges[pairKey(a.ASN, n.ASN)]; e != nil && e.BGPInvisible {
+				continue
+			}
+			dst = append(dst, n)
+		}
+		return dst
+	}
+	providers = appendVisible(nil, a.Providers)
+	customers = appendVisible(nil, a.Customers)
+	peers = appendVisible(nil, a.Peers)
+	return
+}
+
+// tree returns (computing and caching) the routing tree toward dst.
+func (in *Internet) tree(dst asn.ASN) *routeTree {
+	in.routing.mu.RLock()
+	t, ok := in.routing.trees[dst]
+	in.routing.mu.RUnlock()
+	if ok {
+		return t
+	}
+	t = in.computeTree(dst)
+	in.routing.mu.Lock()
+	// A racing goroutine may have stored an identical tree; keep the
+	// first so callers share one instance.
+	if prev, ok := in.routing.trees[dst]; ok {
+		t = prev
+	} else {
+		in.routing.trees[dst] = t
+	}
+	in.routing.mu.Unlock()
+	return t
+}
+
+// computeTree simulates valley-free route propagation toward dst:
+//
+//  1. customer routes climb provider links (BFS from dst upward);
+//  2. peer routes are one peering hop from a customer route;
+//  3. provider routes descend customer links (Dijkstra seeded by the
+//     best customer/peer route at each provider).
+func (in *Internet) computeTree(dst asn.ASN) *routeTree {
+	t := &routeTree{
+		dst:   dst,
+		class: make(map[asn.ASN]uint8),
+		dist:  make(map[asn.ASN]int),
+		next:  make(map[asn.ASN]asn.ASN),
+	}
+	d := in.ASes[dst]
+	if d == nil {
+		return t
+	}
+	// Stage 1: customer routes (propagate from dst up provider edges).
+	type qent struct {
+		as   asn.ASN
+		dist int
+	}
+	custDist := map[asn.ASN]int{dst: 0}
+	custNext := map[asn.ASN]asn.ASN{}
+	queue := []qent{{dst, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if custDist[cur.as] != cur.dist {
+			continue
+		}
+		a := in.ASes[cur.as]
+		providers, _, _ := in.visibleNeighbors(a)
+		// Deterministic: lower-ASN neighbours processed first.
+		sort.Slice(providers, func(i, j int) bool { return providers[i].ASN < providers[j].ASN })
+		for _, p := range providers {
+			nd := cur.dist + 1
+			old, seen := custDist[p.ASN]
+			if !seen || nd < old || (nd == old && cur.as < custNext[p.ASN]) {
+				custDist[p.ASN] = nd
+				custNext[p.ASN] = cur.as
+				if !seen || nd < old {
+					queue = append(queue, qent{p.ASN, nd})
+				}
+			}
+		}
+	}
+	// Stage 2: peer routes.
+	peerDist := map[asn.ASN]int{}
+	peerNext := map[asn.ASN]asn.ASN{}
+	for _, a := range in.ASList {
+		_, _, peers := in.visibleNeighbors(a)
+		best, bestNext := -1, asn.None
+		for _, p := range peers {
+			if cd, ok := custDist[p.ASN]; ok {
+				nd := cd + 1
+				if best == -1 || nd < best || (nd == best && p.ASN < bestNext) {
+					best, bestNext = nd, p.ASN
+				}
+			}
+		}
+		if best >= 0 {
+			peerDist[a.ASN] = best
+			peerNext[a.ASN] = bestNext
+		}
+	}
+	// Stage 3: provider routes (Dijkstra over provider→customer edges,
+	// seeded with each AS's best customer/peer route).
+	seed := func(x asn.ASN) (int, bool) {
+		if cd, ok := custDist[x]; ok {
+			return cd, true
+		}
+		if pd, ok := peerDist[x]; ok {
+			return pd, true
+		}
+		return 0, false
+	}
+	provDist := map[asn.ASN]int{}
+	provNext := map[asn.ASN]asn.ASN{}
+	pq := &asnHeap{}
+	heap.Init(pq)
+	for _, a := range in.ASList {
+		providers, _, _ := in.visibleNeighbors(a)
+		best, bestNext := -1, asn.None
+		for _, p := range providers {
+			if sd, ok := seed(p.ASN); ok {
+				nd := sd + 1
+				if best == -1 || nd < best || (nd == best && p.ASN < bestNext) {
+					best, bestNext = nd, p.ASN
+				}
+			}
+		}
+		if best >= 0 {
+			provDist[a.ASN] = best
+			provNext[a.ASN] = bestNext
+			heap.Push(pq, asnDist{a.ASN, best})
+		}
+	}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(asnDist)
+		if provDist[cur.as] != cur.dist {
+			continue
+		}
+		a := in.ASes[cur.as]
+		// A provider route propagates down to this AS's customers.
+		_, customers, _ := in.visibleNeighbors(a)
+		for _, c := range customers {
+			// The customer prefers its own customer/peer routes; the
+			// provider route only matters when absent or shorter by
+			// class precedence (class is already lower, so only compete
+			// among provider routes).
+			nd := cur.dist + 1
+			old, seen := provDist[c.ASN]
+			if !seen || nd < old || (nd == old && cur.as < provNext[c.ASN]) {
+				provDist[c.ASN] = nd
+				provNext[c.ASN] = cur.as
+				if !seen || nd < old {
+					heap.Push(pq, asnDist{c.ASN, nd})
+				}
+			}
+		}
+	}
+	// Collapse: best route per AS by class precedence.
+	for _, a := range in.ASList {
+		x := a.ASN
+		if x == dst {
+			t.class[x] = clsCustomer
+			t.dist[x] = 0
+			continue
+		}
+		if cd, ok := custDist[x]; ok {
+			t.class[x], t.dist[x], t.next[x] = clsCustomer, cd, custNext[x]
+			continue
+		}
+		if pd, ok := peerDist[x]; ok {
+			t.class[x], t.dist[x], t.next[x] = clsPeer, pd, peerNext[x]
+			continue
+		}
+		if vd, ok := provDist[x]; ok {
+			t.class[x], t.dist[x], t.next[x] = clsProvider, vd, provNext[x]
+		}
+	}
+	return t
+}
+
+type asnDist struct {
+	as   asn.ASN
+	dist int
+}
+
+type asnHeap []asnDist
+
+func (h asnHeap) Len() int { return len(h) }
+func (h asnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].as < h[j].as
+}
+func (h asnHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *asnHeap) Push(x any)   { *h = append(*h, x.(asnDist)) }
+func (h *asnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nextHop returns the AS cur forwards to when the packet is destined to
+// owner (the ground-truth destination AS). It first applies the local
+// override for BGP-invisible customer links: a provider forwards
+// directly to its silently-attached customer.
+func (in *Internet) nextHop(cur, owner asn.ASN) (asn.ASN, bool) {
+	if cur == owner {
+		return asn.None, false
+	}
+	if e := in.edges[pairKey(cur, owner)]; e != nil {
+		// Directly connected: always deliver on-link (covers invisible
+		// backup links and ordinary adjacencies alike).
+		return owner, true
+	}
+	// When the owner is invisible in BGP (silent realloc), route toward
+	// the covering announcement: the reallocating provider.
+	target := owner
+	if a := in.ASes[owner]; a != nil && a.ReallocSilent && a.ReallocFrom != nil {
+		target = a.ReallocFrom.ASN
+		if cur == target {
+			return owner, true
+		}
+	}
+	t := in.tree(target)
+	nh, ok := t.next[cur]
+	if !ok {
+		return asn.None, false
+	}
+	return nh, true
+}
+
+// ASPathTo returns the AS-level forwarding path from src to the
+// ground-truth owner AS of the destination, inclusive of both ends.
+// ok is false when unreachable.
+func (in *Internet) ASPathTo(src, owner asn.ASN) ([]asn.ASN, bool) {
+	path := []asn.ASN{src}
+	cur := src
+	for cur != owner {
+		if len(path) > 32 {
+			return nil, false
+		}
+		nh, ok := in.nextHop(cur, owner)
+		if !ok {
+			return nil, false
+		}
+		path = append(path, nh)
+		cur = nh
+	}
+	return path, true
+}
+
+// BGPPathTo returns the path announcements would take from origin to a
+// collector — the reverse of the forwarding path from the collector to
+// the origin, which is how RIB paths read (collector-adjacent AS
+// first, origin last). Only BGP-visible edges are used.
+func (in *Internet) BGPPathTo(collector, origin asn.ASN) ([]asn.ASN, bool) {
+	if collector == origin {
+		return []asn.ASN{origin}, true
+	}
+	t := in.tree(origin)
+	if t.class[collector] == clsNone {
+		return nil, false
+	}
+	path := []asn.ASN{collector}
+	cur := collector
+	for cur != origin {
+		if len(path) > 32 {
+			return nil, false
+		}
+		nh, ok := t.next[cur]
+		if !ok {
+			return nil, false
+		}
+		path = append(path, nh)
+		cur = nh
+	}
+	return path, true
+}

@@ -1,0 +1,209 @@
+package traceroute
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+)
+
+// Binary codec: a compact varint-based stream for archived campaigns.
+//
+//	file   := magic version record*
+//	magic  := "BDRT" (4 bytes)
+//	version:= u8 (currently 1)
+//	record := vpLen:uvarint vp:bytes
+//	          src:addr dst:addr stop:u8
+//	          nhops:uvarint hop*
+//	hop    := addr probeTTL:u8 reply:u8 rtt:f32(le)
+//	addr   := len:u8 bytes   (len 0 = invalid/absent, 4 = IPv4, 16 = IPv6)
+const (
+	binaryMagic   = "BDRT"
+	binaryVersion = 1
+)
+
+// BinaryWriter streams traces in the compact binary form.
+type BinaryWriter struct {
+	bw       *bufio.Writer
+	scratch  []byte
+	wroteHdr bool
+}
+
+// NewBinaryWriter returns a writer streaming to w. The header is written
+// lazily on the first record so an empty writer produces no output.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriterSize(w, 1<<16), scratch: make([]byte, binary.MaxVarintLen64)}
+}
+
+func (bw *BinaryWriter) writeUvarint(v uint64) error {
+	n := binary.PutUvarint(bw.scratch, v)
+	_, err := bw.bw.Write(bw.scratch[:n])
+	return err
+}
+
+func (bw *BinaryWriter) writeAddr(a netip.Addr) error {
+	if !a.IsValid() {
+		return bw.bw.WriteByte(0)
+	}
+	s := a.Unmap().AsSlice()
+	if err := bw.bw.WriteByte(byte(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.bw.Write(s)
+	return err
+}
+
+// Write encodes one trace.
+func (bw *BinaryWriter) Write(t *Trace) error {
+	if !bw.wroteHdr {
+		if _, err := bw.bw.WriteString(binaryMagic); err != nil {
+			return err
+		}
+		if err := bw.bw.WriteByte(binaryVersion); err != nil {
+			return err
+		}
+		bw.wroteHdr = true
+	}
+	if err := bw.writeUvarint(uint64(len(t.VP))); err != nil {
+		return err
+	}
+	if _, err := bw.bw.WriteString(t.VP); err != nil {
+		return err
+	}
+	if err := bw.writeAddr(t.Src); err != nil {
+		return err
+	}
+	if err := bw.writeAddr(t.Dst); err != nil {
+		return err
+	}
+	if err := bw.bw.WriteByte(byte(t.Stop)); err != nil {
+		return err
+	}
+	if err := bw.writeUvarint(uint64(len(t.Hops))); err != nil {
+		return err
+	}
+	var f32 [4]byte
+	for _, h := range t.Hops {
+		if err := bw.writeAddr(h.Addr); err != nil {
+			return err
+		}
+		if err := bw.bw.WriteByte(h.ProbeTTL); err != nil {
+			return err
+		}
+		if err := bw.bw.WriteByte(byte(h.Reply)); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(f32[:], math.Float32bits(h.RTTMillis))
+		if _, err := bw.bw.Write(f32[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (bw *BinaryWriter) Flush() error { return bw.bw.Flush() }
+
+// ReadBinary streams traces from the binary form, invoking fn for each.
+func ReadBinary(r io.Reader, fn func(*Trace) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil // empty stream
+		}
+		return fmt.Errorf("traceroute: binary header: %w", err)
+	}
+	if string(hdr[:4]) != binaryMagic {
+		return fmt.Errorf("traceroute: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != binaryVersion {
+		return fmt.Errorf("traceroute: unsupported binary version %d", hdr[4])
+	}
+	readAddr := func() (netip.Addr, error) {
+		n, err := br.ReadByte()
+		if err != nil {
+			return netip.Addr{}, err
+		}
+		switch n {
+		case 0:
+			return netip.Addr{}, nil
+		case 4:
+			var b [4]byte
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return netip.Addr{}, err
+			}
+			return netip.AddrFrom4(b), nil
+		case 16:
+			var b [16]byte
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return netip.Addr{}, err
+			}
+			return netip.AddrFrom16(b), nil
+		default:
+			return netip.Addr{}, fmt.Errorf("traceroute: bad address length %d", n)
+		}
+	}
+	for {
+		vpLen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("traceroute: binary record: %w", err)
+		}
+		if vpLen > 1<<16 {
+			return fmt.Errorf("traceroute: implausible VP name length %d", vpLen)
+		}
+		vp := make([]byte, vpLen)
+		if _, err := io.ReadFull(br, vp); err != nil {
+			return fmt.Errorf("traceroute: binary vp: %w", err)
+		}
+		t := &Trace{VP: string(vp)}
+		if t.Src, err = readAddr(); err != nil {
+			return fmt.Errorf("traceroute: binary src: %w", err)
+		}
+		if t.Dst, err = readAddr(); err != nil {
+			return fmt.Errorf("traceroute: binary dst: %w", err)
+		}
+		stop, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("traceroute: binary stop: %w", err)
+		}
+		t.Stop = StopReason(stop)
+		nhops, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("traceroute: binary hop count: %w", err)
+		}
+		if nhops > 512 {
+			return fmt.Errorf("traceroute: implausible hop count %d", nhops)
+		}
+		if nhops > 0 {
+			t.Hops = make([]Hop, nhops)
+		}
+		var f32 [4]byte
+		for i := range t.Hops {
+			h := &t.Hops[i]
+			if h.Addr, err = readAddr(); err != nil {
+				return fmt.Errorf("traceroute: binary hop addr: %w", err)
+			}
+			if h.ProbeTTL, err = br.ReadByte(); err != nil {
+				return fmt.Errorf("traceroute: binary hop ttl: %w", err)
+			}
+			reply, err := br.ReadByte()
+			if err != nil {
+				return fmt.Errorf("traceroute: binary hop reply: %w", err)
+			}
+			h.Reply = ReplyType(reply)
+			if _, err := io.ReadFull(br, f32[:]); err != nil {
+				return fmt.Errorf("traceroute: binary hop rtt: %w", err)
+			}
+			h.RTTMillis = math.Float32frombits(binary.LittleEndian.Uint32(f32[:]))
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}

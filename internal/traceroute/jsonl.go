@@ -1,0 +1,147 @@
+package traceroute
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+)
+
+// jsonHop is the wire form of a hop in the JSONL codec, mirroring the
+// fields scamper's JSON output uses for the same information.
+type jsonHop struct {
+	Addr     string  `json:"addr"`
+	ProbeTTL uint8   `json:"probe_ttl"`
+	ICMPType uint8   `json:"icmp_type"`
+	RTT      float32 `json:"rtt,omitempty"`
+}
+
+// jsonTrace is the wire form of a trace. The Type and Method fields
+// exist for scamper compatibility: sc_warts2json streams carry a
+// "type" discriminator ("trace", "cycle-start", …) and a probing
+// method; records that are not traces are skipped.
+type jsonTrace struct {
+	Type   string    `json:"type,omitempty"`
+	Method string    `json:"method,omitempty"`
+	VP     string    `json:"vp,omitempty"`
+	Src    string    `json:"src,omitempty"`
+	Dst    string    `json:"dst"`
+	Stop   string    `json:"stop_reason"`
+	Hops   []jsonHop `json:"hops"`
+}
+
+// JSONLWriter streams traces as one JSON object per line.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a writer streaming to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one trace.
+func (jw *JSONLWriter) Write(t *Trace) error {
+	wire := jsonTrace{
+		VP:   t.VP,
+		Dst:  t.Dst.String(),
+		Stop: t.Stop.String(),
+		Hops: make([]jsonHop, len(t.Hops)),
+	}
+	if t.Src.IsValid() {
+		wire.Src = t.Src.String()
+	}
+	for i, h := range t.Hops {
+		wire.Hops[i] = jsonHop{
+			Addr:     h.Addr.String(),
+			ProbeTTL: h.ProbeTTL,
+			ICMPType: h.Reply.ICMPType(),
+			RTT:      h.RTTMillis,
+		}
+	}
+	return jw.enc.Encode(wire)
+}
+
+// Flush flushes buffered output.
+func (jw *JSONLWriter) Flush() error { return jw.bw.Flush() }
+
+// ReadJSONL streams traces from JSON-lines input, invoking fn for each.
+// fn returning an error aborts the scan with that error.
+//
+// The reader accepts scamper (sc_warts2json) streams as a superset of
+// its own output: records whose "type" is not "trace" are skipped, a
+// missing stop_reason is inferred from the final hop, and hops with
+// ICMP reply types outside {Time Exceeded, Echo Reply, Destination
+// Unreachable} are dropped (bdrmapIT's heuristics only consume those
+// three).
+func ReadJSONL(r io.Reader, fn func(*Trace) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var wire jsonTrace
+		if err := json.Unmarshal(line, &wire); err != nil {
+			return fmt.Errorf("traceroute: jsonl line %d: %w", lineno, err)
+		}
+		if wire.Type != "" && wire.Type != "trace" {
+			continue // scamper cycle-start / cycle-stop records
+		}
+		t, err := wire.toTrace()
+		if err != nil {
+			return fmt.Errorf("traceroute: jsonl line %d: %w", lineno, err)
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("traceroute: jsonl read: %w", err)
+	}
+	return nil
+}
+
+func (wire jsonTrace) toTrace() (*Trace, error) {
+	dst, err := netip.ParseAddr(wire.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("dst: %w", err)
+	}
+	t := &Trace{VP: wire.VP, Dst: dst}
+	if wire.Src != "" {
+		src, err := netip.ParseAddr(wire.Src)
+		if err != nil {
+			return nil, fmt.Errorf("src: %w", err)
+		}
+		t.Src = src
+	}
+	for i, h := range wire.Hops {
+		rt, err := ReplyTypeFromICMP(h.ICMPType)
+		if err != nil {
+			continue // a reply class the heuristics do not consume
+		}
+		addr, err := netip.ParseAddr(h.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("hop %d addr: %w", i, err)
+		}
+		t.Hops = append(t.Hops, Hop{Addr: addr, ProbeTTL: h.ProbeTTL, Reply: rt, RTTMillis: h.RTT})
+	}
+	if wire.Stop != "" {
+		stop, err := ParseStopReason(wire.Stop)
+		if err != nil {
+			return nil, err
+		}
+		t.Stop = stop
+	} else if t.ReachedDst() {
+		t.Stop = StopCompleted
+	} else {
+		t.Stop = StopGapLimit
+	}
+	return t, nil
+}

@@ -1,0 +1,180 @@
+// Package traceroute defines the traceroute path model bdrmapIT consumes
+// and streaming codecs for two serializations: a scamper-like JSON-lines
+// form and a compact binary form for large archived campaigns. Only the
+// fields the inference heuristics use are modelled: per-hop source
+// address, probe TTL, ICMP reply type, and the probe's destination.
+package traceroute
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// ReplyType is the ICMP reply class of a traceroute response. The class
+// drives the link-confidence labels of paper §4.2: Time Exceeded and
+// Destination Unreachable indicate the reply interface was on the probed
+// path, while Echo Reply only indicates the address is on the responding
+// router.
+type ReplyType uint8
+
+const (
+	// TimeExceeded is ICMP type 11: the standard mid-path reply.
+	TimeExceeded ReplyType = iota
+	// EchoReply is ICMP type 0: the destination (or an off-path
+	// interface of it) answered the probe.
+	EchoReply
+	// DestUnreachable is ICMP type 3.
+	DestUnreachable
+)
+
+// String returns the conventional name of the reply type.
+func (rt ReplyType) String() string {
+	switch rt {
+	case TimeExceeded:
+		return "time-exceeded"
+	case EchoReply:
+		return "echo-reply"
+	case DestUnreachable:
+		return "dest-unreachable"
+	default:
+		return fmt.Sprintf("reply-type-%d", uint8(rt))
+	}
+}
+
+// ICMPType returns the ICMP type number (v4 semantics).
+func (rt ReplyType) ICMPType() uint8 {
+	switch rt {
+	case TimeExceeded:
+		return 11
+	case EchoReply:
+		return 0
+	case DestUnreachable:
+		return 3
+	default:
+		return 255
+	}
+}
+
+// ReplyTypeFromICMP maps an ICMP type number to a ReplyType.
+func ReplyTypeFromICMP(t uint8) (ReplyType, error) {
+	switch t {
+	case 11:
+		return TimeExceeded, nil
+	case 0:
+		return EchoReply, nil
+	case 3:
+		return DestUnreachable, nil
+	default:
+		return 0, fmt.Errorf("traceroute: unsupported ICMP type %d", t)
+	}
+}
+
+// Hop is one responsive traceroute hop. Unresponsive probes produce no
+// Hop; gaps are visible as jumps in ProbeTTL.
+type Hop struct {
+	// Addr is the source address of the ICMP reply.
+	Addr netip.Addr
+	// ProbeTTL is the TTL of the probe that elicited the reply (hop
+	// distance from the vantage point, starting at 1).
+	ProbeTTL uint8
+	// Reply is the ICMP reply class.
+	Reply ReplyType
+	// RTTMillis is the measured round-trip time in milliseconds.
+	RTTMillis float32
+}
+
+// StopReason records why probing stopped.
+type StopReason uint8
+
+const (
+	// StopCompleted means the destination replied.
+	StopCompleted StopReason = iota
+	// StopGapLimit means consecutive unresponsive hops exceeded the gap
+	// limit (the firewalled-edge signature of paper §5).
+	StopGapLimit
+	// StopUnreach means a Destination Unreachable ended the trace.
+	StopUnreach
+	// StopLoop means a forwarding loop was detected.
+	StopLoop
+)
+
+// String returns the scamper-style stop-reason name.
+func (s StopReason) String() string {
+	switch s {
+	case StopCompleted:
+		return "COMPLETED"
+	case StopGapLimit:
+		return "GAPLIMIT"
+	case StopUnreach:
+		return "UNREACH"
+	case StopLoop:
+		return "LOOP"
+	default:
+		return fmt.Sprintf("STOP-%d", uint8(s))
+	}
+}
+
+// ParseStopReason inverts StopReason.String.
+func ParseStopReason(s string) (StopReason, error) {
+	switch s {
+	case "COMPLETED":
+		return StopCompleted, nil
+	case "GAPLIMIT":
+		return StopGapLimit, nil
+	case "UNREACH":
+		return StopUnreach, nil
+	case "LOOP":
+		return StopLoop, nil
+	default:
+		return 0, fmt.Errorf("traceroute: unknown stop reason %q", s)
+	}
+}
+
+// Trace is one traceroute measurement: a vantage point, a probed
+// destination, and the responsive hops in probe-TTL order.
+type Trace struct {
+	// VP names the vantage point that ran the measurement.
+	VP string
+	// Src is the vantage point's source address.
+	Src netip.Addr
+	// Dst is the probed destination address.
+	Dst netip.Addr
+	// Hops are the responsive hops, ascending by ProbeTTL.
+	Hops []Hop
+	// Stop is why probing ended.
+	Stop StopReason
+}
+
+// Validate checks structural invariants: hops ascend strictly in
+// ProbeTTL and carry valid addresses.
+func (t *Trace) Validate() error {
+	if !t.Dst.IsValid() {
+		return fmt.Errorf("traceroute: trace has invalid destination")
+	}
+	last := -1
+	for i, h := range t.Hops {
+		if !h.Addr.IsValid() {
+			return fmt.Errorf("traceroute: hop %d has invalid address", i)
+		}
+		if int(h.ProbeTTL) <= last {
+			return fmt.Errorf("traceroute: hop %d TTL %d not ascending (prev %d)", i, h.ProbeTTL, last)
+		}
+		last = int(h.ProbeTTL)
+	}
+	return nil
+}
+
+// LastHop returns the final responsive hop, or nil for an empty trace.
+func (t *Trace) LastHop() *Hop {
+	if len(t.Hops) == 0 {
+		return nil
+	}
+	return &t.Hops[len(t.Hops)-1]
+}
+
+// ReachedDst reports whether the final hop's address equals the probed
+// destination.
+func (t *Trace) ReachedDst() bool {
+	h := t.LastHop()
+	return h != nil && h.Addr == t.Dst
+}

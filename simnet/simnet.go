@@ -1,0 +1,324 @@
+// Package simnet generates synthetic Internet measurement datasets for
+// exercising and evaluating bdrmapit without access to measurement
+// infrastructure. A generated network ships everything the tool
+// consumes — traceroute campaigns, a BGP RIB, RIR delegations, IXP
+// prefixes, AS relationships, and alias-resolution nodes — plus the
+// ground truth (true router ownership) to score inferences against.
+//
+// The underlying simulator reproduces the measurement artifacts the
+// bdrmapIT heuristics exist to handle: provider-numbered transit links,
+// IXP peering LANs, reallocated prefixes, firewalled edge networks,
+// third-party replies, hidden ASes, and unannounced address space. See
+// DESIGN.md for the full substitution rationale.
+package simnet
+
+import (
+	"bufio"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/asn"
+	"repro/internal/asrel"
+	"repro/internal/bgp"
+	"repro/internal/collect"
+	"repro/internal/eval"
+	"repro/internal/mrt"
+	"repro/internal/pfx2as"
+	"repro/internal/rir"
+	"repro/internal/topo"
+	"repro/internal/traceroute"
+)
+
+// Options selects the generated scale and campaign shape.
+type Options struct {
+	// Seed makes generation reproducible (default 2018).
+	Seed int64
+	// Small selects a ~50-AS topology instead of the default ~400-AS
+	// one. Use it for examples and tests.
+	Small bool
+	// NumVPs is the number of vantage points (default 100, capped to
+	// the available pool).
+	NumVPs int
+	// IncludeGroundTruthVPs allows VPs inside the four ground-truth
+	// networks (the paper's §7.2 methodology excludes them).
+	IncludeGroundTruthVPs bool
+	// SingleVPIn, when set to one of "Tier1", "LAccess", "RE1", "RE2",
+	// runs the campaign from a single VP inside that ground-truth
+	// network (the §7.1 bdrmap regression scenario).
+	SingleVPIn string
+}
+
+// Network is a generated Internet plus its measurement campaign.
+type Network struct {
+	ds  *eval.Dataset
+	in  *topo.Internet
+	vps []topo.VP
+}
+
+// Generate builds the network and runs the traceroute campaign.
+func Generate(opts Options) (*Network, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 2018
+	}
+	if opts.NumVPs == 0 {
+		opts.NumVPs = 100
+	}
+	cfg := topo.DefaultConfig(opts.Seed)
+	if opts.Small {
+		cfg = topo.SmallConfig(opts.Seed)
+		if opts.NumVPs > 20 {
+			opts.NumVPs = 20
+		}
+	}
+	ds, err := eval.BuildDataset(cfg, opts.NumVPs, !opts.IncludeGroundTruthVPs)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{ds: ds, in: ds.In, vps: ds.VPs}
+	if opts.SingleVPIn != "" {
+		gt, ok := ds.GT[opts.SingleVPIn]
+		if !ok {
+			return nil, fmt.Errorf("simnet: unknown ground-truth network %q", opts.SingleVPIn)
+		}
+		vp, ok := ds.In.VPIn(gt)
+		if !ok {
+			return nil, fmt.Errorf("simnet: no VP available in %q", opts.SingleVPIn)
+		}
+		n.vps = []topo.VP{vp}
+		ds.Traces = ds.In.RunCampaign(n.vps, ds.Targets)
+		// Redo alias resolution over the single-VP observations.
+		addrs := eval.ObservedAddrs(ds.Traces)
+		p := ds.In.Prober()
+		ds.Aliases = alias.Merge(
+			alias.MIDAR(p, addrs, alias.MIDAROptions{}),
+			alias.Iffinder(p, addrs))
+	}
+	return n, nil
+}
+
+// Stats summarizes the generated network.
+type Stats struct {
+	ASes, Routers, Interfaces, Traces, VPs, Targets, GroundTruthLinks int
+}
+
+// Stats returns generation summary counts.
+func (n *Network) Stats() Stats {
+	return Stats{
+		ASes:             len(n.in.ASList),
+		Routers:          len(n.in.Routers),
+		Interfaces:       len(n.in.IfaceByAddr),
+		Traces:           len(n.ds.Traces),
+		VPs:              len(n.vps),
+		Targets:          len(n.ds.Targets),
+		GroundTruthLinks: len(n.in.TrueInterdomainLinks()),
+	}
+}
+
+// GroundTruthNetworks names the four validation networks (Tier1,
+// LAccess, RE1, RE2) and their AS numbers.
+func (n *Network) GroundTruthNetworks() map[string]uint32 {
+	out := make(map[string]uint32)
+	for k, v := range n.ds.GT {
+		out[k] = uint32(v)
+	}
+	return out
+}
+
+// OperatorOf returns the ground-truth operator of the router owning
+// addr (ok=false for unknown addresses).
+func (n *Network) OperatorOf(addr netip.Addr) (uint32, bool) {
+	a := n.in.OwnerASN(addr)
+	return uint32(a), a != asn.None
+}
+
+// VPNames lists the campaign's vantage point names.
+func (n *Network) VPNames() []string {
+	out := make([]string, len(n.vps))
+	for i, vp := range n.vps {
+		out[i] = vp.Name
+	}
+	return out
+}
+
+// DatasetPaths names the files WriteDataset produces.
+type DatasetPaths struct {
+	Traceroutes   string // JSON-lines traceroute archive
+	RIB           string // BGP RIB ("prefix|as path")
+	RIBMRT        string // the same RIB as an MRT TABLE_DUMP_V2 file
+	Prefix2AS     string // CAIDA routeviews-prefix2as form of the RIB
+	Delegations   string // RIR extended delegation file
+	IXPPrefixes   string // IXP peering-LAN prefix list
+	Relationships string // CAIDA serial-1 AS relationships (inferred from the RIB)
+	Aliases       string // ITDK-format alias nodes (midar+iffinder)
+	GroundTruth   string // "address asn" ground-truth operator lines
+}
+
+// WriteDataset materializes the campaign into dir, creating it if
+// needed, and returns the file paths.
+func (n *Network) WriteDataset(dir string) (*DatasetPaths, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	p := &DatasetPaths{
+		Traceroutes:   filepath.Join(dir, "traces.jsonl"),
+		RIB:           filepath.Join(dir, "rib.txt"),
+		RIBMRT:        filepath.Join(dir, "rib.mrt"),
+		Prefix2AS:     filepath.Join(dir, "prefix2as.txt"),
+		Delegations:   filepath.Join(dir, "delegated-extended.txt"),
+		IXPPrefixes:   filepath.Join(dir, "ixp-prefixes.txt"),
+		Relationships: filepath.Join(dir, "as-rel.txt"),
+		Aliases:       filepath.Join(dir, "nodes.txt"),
+		GroundTruth:   filepath.Join(dir, "groundtruth.txt"),
+	}
+	if err := writeFile(p.Traceroutes, func(f *os.File) error {
+		w := traceroute.NewJSONLWriter(f)
+		for _, t := range n.ds.Traces {
+			if err := w.Write(t); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.RIB, func(f *os.File) error {
+		return bgp.WriteRoutes(f, n.in.Routes)
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.RIBMRT, func(f *os.File) error {
+		return mrt.Write(f, n.in.Routes)
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.Prefix2AS, func(f *os.File) error {
+		return pfx2as.Write(f, pfx2as.FromRoutes(n.in.Routes))
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.Delegations, func(f *os.File) error {
+		return rir.WriteRecords(f, "simrir", n.in.RIRRecords())
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.IXPPrefixes, func(f *os.File) error {
+		return n.in.IXPPrefixes.WriteList(f)
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.Relationships, func(f *os.File) error {
+		rels := asrel.Infer(n.in.ASPaths())
+		return rels.Write(f)
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.Aliases, func(f *os.File) error {
+		return n.ds.Aliases.WriteNodes(f)
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeFile(p.GroundTruth, func(f *os.File) error {
+		for _, addr := range n.in.ObservedAddrs() {
+			if _, err := fmt.Fprintf(f, "%s %d\n", addr, uint32(n.in.OwnerASN(addr))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("simnet: %w", err)
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return fmt.Errorf("simnet: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("simnet: %w", err)
+	}
+	return nil
+}
+
+// ReadGroundTruth parses a ground-truth file written by WriteDataset
+// into an address → operator map.
+func ReadGroundTruth(path string) (map[netip.Addr]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	defer f.Close()
+	out := make(map[netip.Addr]uint32)
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("simnet: ground truth line %d: want 'addr asn'", lineno)
+		}
+		a, err := netip.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("simnet: ground truth line %d: %w", lineno, err)
+		}
+		owner, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: ground truth line %d: %w", lineno, err)
+		}
+		out[a] = uint32(owner)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
+	}
+	return out, nil
+}
+
+// CollectOutcome summarizes a reactive collection run.
+type CollectOutcome struct {
+	Traces   int
+	Prefixes int
+	Reprobed int
+}
+
+// CollectDataset replaces the network's campaign with a bdrmap-style
+// reactive collection run from a single VP inside the named
+// ground-truth network (Tier1, LAccess, RE1, RE2): one traceroute per
+// routed prefix, reactive re-probes of prefixes whose traces never
+// reached the target's address space, and alias resolution over the
+// discovered addresses. Subsequent WriteDataset calls export the
+// collected data.
+func (n *Network) CollectDataset(network string) (CollectOutcome, error) {
+	gt, ok := n.ds.GT[network]
+	if !ok {
+		return CollectOutcome{}, fmt.Errorf("simnet: unknown ground-truth network %q", network)
+	}
+	vp, ok := n.in.VPIn(gt)
+	if !ok {
+		return CollectOutcome{}, fmt.Errorf("simnet: no VP available in %q", network)
+	}
+	prefixes := n.in.RoutedPrefixes()
+	res := collect.Run(n.in.Engine(vp), prefixes, collect.Options{
+		Resolver: n.ds.Resolver,
+	})
+	n.vps = []topo.VP{vp}
+	n.ds.Traces = res.Traces
+	n.ds.Aliases = res.Aliases
+	return CollectOutcome{
+		Traces:   len(res.Traces),
+		Prefixes: len(prefixes),
+		Reprobed: res.Reprobed,
+	}, nil
+}

@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	n, err := Generate(Options{Small: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.ASes == 0 || st.Routers == 0 || st.Traces == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	gt := n.GroundTruthNetworks()
+	if len(gt) != 4 {
+		t.Errorf("ground truth networks: %v", gt)
+	}
+	if len(n.VPNames()) == 0 {
+		t.Error("no VP names")
+	}
+}
+
+func TestGenerateSingleVP(t *testing.T) {
+	n, err := Generate(Options{Small: true, Seed: 3, SingleVPIn: "Tier1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.VPNames(); len(got) != 1 {
+		t.Errorf("single-VP mode has %d VPs", len(got))
+	}
+	if _, err := Generate(Options{Small: true, SingleVPIn: "Nope"}); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestWriteDatasetAndGroundTruth(t *testing.T) {
+	n, err := Generate(Options{Small: true, Seed: 4, NumVPs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p, err := n.WriteDataset(filepath.Join(dir, "ds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		p.Traceroutes, p.RIB, p.Delegations, p.IXPPrefixes,
+		p.Relationships, p.Aliases, p.GroundTruth,
+	} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("missing output %s: %v", f, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("empty output %s", f)
+		}
+	}
+	truth, err := ReadGroundTruth(p.GroundTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) == 0 {
+		t.Fatal("empty ground truth")
+	}
+	for addr, owner := range truth {
+		got, ok := n.OperatorOf(addr)
+		if !ok || got != owner {
+			t.Fatalf("ground truth mismatch at %v: file=%d live=%d ok=%v", addr, owner, got, ok)
+		}
+	}
+}
+
+func TestReadGroundTruthErrors(t *testing.T) {
+	if _, err := ReadGroundTruth("/nonexistent"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	os.WriteFile(bad, []byte("not an addr 5\n"), 0o644)
+	if _, err := ReadGroundTruth(bad); err == nil {
+		t.Error("malformed line accepted")
+	}
+}

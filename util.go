@@ -1,0 +1,58 @@
+package bdrmapit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/traceroute"
+)
+
+// FilterTracesByVP copies the traceroutes whose vantage-point name
+// satisfies keep from one archive into another (both in the same
+// format, chosen by extension). It supports VP-subset studies like the
+// paper's §7.3 sweep without loading the archive into memory.
+func FilterTracesByVP(inPath, outPath string, keep func(vp string) bool) (kept int, err error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return 0, fmt.Errorf("bdrmapit: %w", err)
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		return 0, fmt.Errorf("bdrmapit: %w", err)
+	}
+
+	binaryOut := strings.EqualFold(filepath.Ext(outPath), ".bin")
+	var write func(*traceroute.Trace) error
+	var flush func() error
+	if binaryOut {
+		w := traceroute.NewBinaryWriter(out)
+		write, flush = w.Write, w.Flush
+	} else {
+		w := traceroute.NewJSONLWriter(out)
+		write, flush = w.Write, w.Flush
+	}
+	visit := func(t *traceroute.Trace) error {
+		if keep(t.VP) {
+			kept++
+			return write(t)
+		}
+		return nil
+	}
+	if strings.EqualFold(filepath.Ext(inPath), ".bin") {
+		err = traceroute.ReadBinary(in, visit)
+	} else {
+		err = traceroute.ReadJSONL(in, visit)
+	}
+	if err != nil {
+		out.Close()
+		return kept, fmt.Errorf("bdrmapit: filter: %w", err)
+	}
+	if err := flush(); err != nil {
+		out.Close()
+		return kept, fmt.Errorf("bdrmapit: filter: %w", err)
+	}
+	return kept, out.Close()
+}
