@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel engine's concurrency surface: the refinement loop, the
+# read-only tries, the sharding substrate, and the cone cache.
+race:
+	$(GO) test -race ./internal/core/... ./internal/iptrie/... ./internal/shard/... ./internal/asrel/...
+
+bench:
+	$(GO) test -short -bench 'BenchmarkRefineWorkers|BenchmarkInferenceWorkers' -benchmem .

@@ -80,6 +80,12 @@ type Sources struct {
 type Options struct {
 	// MaxIterations caps the refinement loop (default 50).
 	MaxIterations int
+	// Workers is the number of concurrent workers used for IP→AS
+	// resolution, graph finishing, and each refinement iteration
+	// (default: runtime.GOMAXPROCS). The engine shards work
+	// deterministically, so any worker count produces byte-identical
+	// annotations; 1 disables concurrency.
+	Workers int
 	// DisableLastHopDestinations ablates the §5.2 last-hop heuristic.
 	DisableLastHopDestinations bool
 	// DisableThirdParty ablates the §6.1.1 third-party address test.
@@ -98,6 +104,7 @@ type Options struct {
 func (o Options) internal() core.Options {
 	return core.Options{
 		MaxIterations:       o.MaxIterations,
+		Workers:             o.Workers,
 		DisableLastHopDest:  o.DisableLastHopDestinations,
 		DisableThirdParty:   o.DisableThirdParty,
 		DisableRealloc:      o.DisableReallocated,

@@ -10,6 +10,7 @@ package bdrmapit
 // The recorded paper-vs-measured comparison lives in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -232,4 +233,54 @@ func BenchmarkInference(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(ds.Traces))/1000, "ktraces")
+}
+
+// buildBenchGraph runs phase 1 (graph construction) for the refinement
+// benchmarks, which need a fresh graph per measured run.
+func buildBenchGraph(ds *eval.Dataset, workers int) *core.Graph {
+	bld := core.NewBuilder(ds.Resolver, ds.Aliases)
+	bld.Workers = workers
+	for _, t := range ds.Traces {
+		bld.AddTrace(t)
+	}
+	return bld.Finish(ds.Rels)
+}
+
+// BenchmarkRefineWorkers measures the phase 2–3 engine — last-hop
+// annotation plus the §6.3 refinement loop — at 1/2/4/8 workers over
+// the shared campaign. The sharded engine is deterministic, so every
+// worker count produces identical annotations; the sweep captures the
+// pure speedup trajectory in BENCH_*.json.
+func BenchmarkRefineWorkers(b *testing.B) {
+	ds := benchDataset(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := buildBenchGraph(ds, w)
+				b.StartTimer()
+				res := core.Run(g, ds.Rels, core.Options{Workers: w})
+				if !res.Converged {
+					b.Fatal("refinement did not converge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInferenceWorkers measures the full pipeline (parallel IP→AS
+// pre-resolution, graph build, refinement) across the same worker
+// sweep — the end-to-end number the -workers flag controls.
+func BenchmarkInferenceWorkers(b *testing.B) {
+	ds := benchDataset(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := ds.RunBdrmapIT(nil, core.Options{Workers: w})
+				if res.Graph == nil {
+					b.Fatal("no result")
+				}
+			}
+		})
+	}
 }

@@ -6,6 +6,7 @@
 //
 //	bdrmapit -traces FILE[,FILE...] -rib FILE [-rir FILE] [-ixp FILE]
 //	         [-rels FILE] [-aliases FILE] [-annotations OUT] [-links OUT]
+//	         [-workers N]
 //
 // Traceroute files may be JSON-lines (.jsonl) or the compact binary
 // form (.bin). With no -rels file, AS relationships are inferred from
@@ -47,6 +48,7 @@ func main() {
 		lnkOut  = flag.String("links", "", "write inferred interdomain links to this file")
 		itdkOut = flag.String("itdk", "", "write ITDK-format output (nodes, nodes.as, links) into this directory")
 		maxIter = flag.Int("max-iterations", 0, "refinement iteration cap (default 50)")
+		workers = flag.Int("workers", 0, "concurrent annotation workers (default GOMAXPROCS; results are identical for any count)")
 	)
 	flag.Parse()
 	if *traces == "" {
@@ -59,7 +61,7 @@ func main() {
 		IXPPrefixListPaths:  split(*ixpF),
 		ASRelationshipPaths: split(*rels),
 		AliasNodePaths:      split(*aliases),
-	}, bdrmapit.Options{MaxIterations: *maxIter})
+	}, bdrmapit.Options{MaxIterations: *maxIter, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	evalharness [-seed N] [-vps N] [-small] [-experiment name]
+//	evalharness [-seed N] [-vps N] [-small] [-workers N] [-experiment name]
 //
 // Experiments: stats, fig15, fig16, fig17, fig18, fig19, fig20,
 // noalias, ablations, all (default).
@@ -31,6 +31,7 @@ func main() {
 		vps   = flag.Int("vps", 100, "number of vantage points in the main dataset")
 		small = flag.Bool("small", false, "use the small test-scale topology")
 		dual  = flag.Bool("dual", false, "also build a second dataset (seed+2) and report both, like the paper's 2016+2018 campaigns")
+		work  = flag.Int("workers", 0, "concurrent annotation workers per inference (default GOMAXPROCS; results are identical for any count)")
 		exp   = flag.String("experiment", "all", "experiment to run (stats, fig15, fig16, fig17, fig18, fig19, fig20, noalias, aliasimpact, ablations, all)")
 	)
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ds.Workers = *work
 	fmt.Printf("# topology: %d ASes, %d routers, %d ground-truth links\n",
 		len(ds.In.ASList), len(ds.In.Routers), len(ds.In.TrueInterdomainLinks()))
 	fmt.Printf("# campaign: %d VPs, %d targets, %d traceroutes\n\n",
@@ -60,6 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		ds2.Workers = *work
 		datasets = append(datasets, ds2)
 		fmt.Printf("# second campaign (seed=%d): %d traceroutes\n\n", cfg2.Seed, len(ds2.Traces))
 	}

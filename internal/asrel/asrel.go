@@ -13,24 +13,26 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/asn"
 )
 
 // Graph holds AS relationships. The zero value is not usable; construct
 // with New.
+//
+// Once construction (AddP2C/AddP2P) is done, a Graph is safe for any
+// number of concurrent readers: the lazily-filled customer-cone cache —
+// the only state queries mutate — is guarded by an RWMutex, which the
+// parallel refinement engine relies on (core.Options.Workers > 1).
 type Graph struct {
 	providers map[asn.ASN]asn.Set // AS → its transit providers
 	customers map[asn.ASN]asn.Set // AS → its customers
 	peers     map[asn.ASN]asn.Set // AS → its settlement-free peers
 
-	coneMu    coneCache
-	coneDirty bool
-}
-
-type coneCache struct {
-	cones map[asn.ASN]asn.Set
-	sizes map[asn.ASN]int
+	coneMu sync.RWMutex // guards cones and sizes
+	cones  map[asn.ASN]asn.Set
+	sizes  map[asn.ASN]int
 }
 
 // New returns an empty relationship graph.
@@ -72,8 +74,10 @@ func (g *Graph) AddP2P(a, b asn.ASN) {
 }
 
 func (g *Graph) invalidate() {
-	g.coneMu.cones = nil
-	g.coneMu.sizes = nil
+	g.coneMu.Lock()
+	g.cones = nil
+	g.sizes = nil
+	g.coneMu.Unlock()
 }
 
 // HasRelationship reports whether a and b share any BGP-observable
@@ -145,15 +149,18 @@ func (g *Graph) NumEdges() int {
 
 // CustomerCone returns the customer cone of a: a itself plus every AS
 // reachable from a by following only provider→customer edges (paper
-// §4.1). The result is cached; do not mutate it.
+// §4.1). The result is cached; do not mutate it. Safe to call from many
+// goroutines at once.
 func (g *Graph) CustomerCone(a asn.ASN) asn.Set {
-	if g.coneMu.cones == nil {
-		g.coneMu.cones = make(map[asn.ASN]asn.Set)
-		g.coneMu.sizes = make(map[asn.ASN]int)
-	}
-	if c, ok := g.coneMu.cones[a]; ok {
+	g.coneMu.RLock()
+	c, ok := g.cones[a]
+	g.coneMu.RUnlock()
+	if ok {
 		return c
 	}
+	// Compute outside the lock (the BFS reads only the immutable
+	// relationship maps); a racing goroutine computing the same cone
+	// just produces an identical set, and one of the two wins the cache.
 	cone := asn.NewSet(a)
 	queue := []asn.ASN{a}
 	for len(queue) > 0 {
@@ -166,17 +173,28 @@ func (g *Graph) CustomerCone(a asn.ASN) asn.Set {
 			}
 		}
 	}
-	g.coneMu.cones[a] = cone
-	g.coneMu.sizes[a] = cone.Len()
+	g.coneMu.Lock()
+	if g.cones == nil {
+		g.cones = make(map[asn.ASN]asn.Set)
+		g.sizes = make(map[asn.ASN]int)
+	}
+	if prior, ok := g.cones[a]; ok {
+		cone = prior // keep the first published set stable for readers
+	} else {
+		g.cones[a] = cone
+		g.sizes[a] = cone.Len()
+	}
+	g.coneMu.Unlock()
 	return cone
 }
 
 // ConeSize returns |CustomerCone(a)|. Stub ASes have cone size 1.
 func (g *Graph) ConeSize(a asn.ASN) int {
-	if g.coneMu.sizes != nil {
-		if n, ok := g.coneMu.sizes[a]; ok {
-			return n
-		}
+	g.coneMu.RLock()
+	n, ok := g.sizes[a]
+	g.coneMu.RUnlock()
+	if ok {
+		return n
 	}
 	return g.CustomerCone(a).Len()
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+// Unit coverage for the §6.3 repeated-state stop condition and the
+// cycle-length bookkeeping surfaced in Result.CycleLength.
+
+func TestCycleDetectorFixedPoint(t *testing.T) {
+	c := newCycleDetector()
+	if n, rep := c.record(0xAAAA, 1); rep {
+		t.Fatalf("first state reported repeated (len %d)", n)
+	}
+	// The same state one iteration later: a fixed point, cycle length 1.
+	n, rep := c.record(0xAAAA, 2)
+	if !rep || n != 1 {
+		t.Errorf("fixed point: got (len=%d, repeated=%v), want (1, true)", n, rep)
+	}
+}
+
+func TestCycleDetectorOscillation(t *testing.T) {
+	c := newCycleDetector()
+	states := []uint64{0x1, 0x2, 0x3, 0x2} // 2 → 3 → 2: a 2-cycle
+	for iter, h := range states[:3] {
+		if _, rep := c.record(h, iter+1); rep {
+			t.Fatalf("iteration %d: unseen state reported repeated", iter+1)
+		}
+	}
+	n, rep := c.record(states[3], 4)
+	if !rep || n != 2 {
+		t.Errorf("oscillation: got (len=%d, repeated=%v), want (2, true)", n, rep)
+	}
+}
+
+func TestCycleDetectorDistinctStates(t *testing.T) {
+	c := newCycleDetector()
+	for i := 1; i <= 50; i++ {
+		if n, rep := c.record(uint64(i), i); rep {
+			t.Fatalf("distinct state %d reported repeated (len %d)", i, n)
+		}
+	}
+}
+
+// TestRunReportsCycleLength: an ordinary converging topology stops on a
+// fixed point and reports it; a capped run reports no cycle.
+func TestRunReportsCycleLength(t *testing.T) {
+	e := newEnv(t)
+	e.announce("1.0.0.0/24", 100)
+	e.announce("2.0.0.0/24", 200)
+	e.rels.AddP2C(100, 200)
+	e.trace("2.0.0.99", "1.0.0.1", "1.0.0.9", "2.0.0.1", "2.0.0.99/e")
+
+	res := e.run(Options{})
+	if !res.Converged {
+		t.Fatal("simple graph did not converge")
+	}
+	if res.CycleLength != 1 {
+		t.Errorf("CycleLength = %d, want 1 (fixed point)", res.CycleLength)
+	}
+
+	capped := e.run(Options{MaxIterations: 1})
+	if capped.Converged {
+		t.Skip("converged within one iteration; cap not exercised")
+	}
+	if capped.CycleLength != 0 {
+		t.Errorf("capped run CycleLength = %d, want 0", capped.CycleLength)
+	}
+}

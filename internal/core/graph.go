@@ -13,6 +13,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/ip2as"
 	"repro/internal/netutil"
+	"repro/internal/shard"
 	"repro/internal/traceroute"
 )
 
@@ -119,6 +120,11 @@ type Router struct {
 
 	// Annotation is the AS inferred to operate this router.
 	Annotation asn.ASN
+	// prevAnnotation is the annotation committed at the end of the
+	// previous refinement iteration. Voting heuristics read neighbour
+	// routers exclusively through it, so annotation within an iteration
+	// is order-free — the property the parallel engine shards on.
+	prevAnnotation asn.ASN
 	// LastHop marks routers without outgoing links; they are annotated
 	// in phase 2 and never revisited (§3.3).
 	LastHop bool
@@ -162,16 +168,23 @@ type GraphStats struct {
 }
 
 // Builder constructs the IR graph incrementally from traceroutes
-// (paper §4). Feed traces with AddTrace, then call Finish.
+// (paper §4). Feed traces with AddTrace, then call Finish. Optionally
+// call PreResolve first to perform the IP→AS lookups concurrently.
 type Builder struct {
 	resolver *ip2as.Resolver
 	aliases  *alias.Sets
 
-	ifaces  map[netip.Addr]*Interface
-	routers map[int]*Router // alias group id → router
-	nextID  int
-	byIface map[netip.Addr]*Router // singleton routers
-	traces  int
+	// Workers is the worker count for the parallel parts of
+	// construction (PreResolve sharding and Finish's per-router pass);
+	// <= 0 means runtime.GOMAXPROCS.
+	Workers int
+
+	ifaces   map[netip.Addr]*Interface
+	routers  map[int]*Router // alias group id → router
+	nextID   int
+	byIface  map[netip.Addr]*Router // singleton routers
+	traces   int
+	resolved map[netip.Addr]ip2as.Result // PreResolve lookup cache
 }
 
 // NewBuilder returns a Builder resolving addresses through resolver and
@@ -217,10 +230,33 @@ func (b *Builder) newRouter() *Router {
 	return r
 }
 
+// PreResolve performs the IP→AS lookups for addrs concurrently across
+// the Builder's workers and caches the results for AddTrace. The
+// trie-backed resolver layers are read-only during lookups, so shards
+// share them safely; results land in a cache the (sequential) graph
+// build then consults, keeping the build itself deterministic.
+func (b *Builder) PreResolve(addrs []netip.Addr) {
+	results := b.resolver.ResolveBatch(addrs, b.Workers)
+	if b.resolved == nil {
+		b.resolved = make(map[netip.Addr]ip2as.Result, len(addrs))
+	}
+	for i, a := range addrs {
+		b.resolved[a] = results[i]
+	}
+}
+
+// lookup resolves addr, consulting the PreResolve cache first.
+func (b *Builder) lookup(addr netip.Addr) ip2as.Result {
+	if res, ok := b.resolved[addr]; ok {
+		return res
+	}
+	return b.resolver.Lookup(addr)
+}
+
 func (b *Builder) iface(addr netip.Addr) *Interface {
 	i, ok := b.ifaces[addr]
 	if !ok {
-		res := b.resolver.Lookup(addr)
+		res := b.lookup(addr)
 		i = &Interface{
 			Addr:     addr,
 			Origin:   res.Origin,
@@ -248,7 +284,7 @@ func (b *Builder) AddTrace(t *traceroute.Trace) {
 	if len(hops) == 0 {
 		return
 	}
-	dstAS := b.resolver.Lookup(t.Dst).Origin
+	dstAS := b.lookup(t.Dst).Origin
 
 	for idx := range hops {
 		h := &hops[idx]
@@ -351,11 +387,15 @@ func (b *Builder) Finish(rels RelationshipOracle) *Graph {
 	}
 	g.Routers = make([]*Router, 0, len(routerSet))
 	for r := range routerSet {
-		sort.Slice(r.Interfaces, func(a, b int) bool {
-			return r.Interfaces[a].Addr.Less(r.Interfaces[b].Addr)
-		})
 		g.Routers = append(g.Routers, r)
 	}
+	shard.For(len(g.Routers), b.Workers, func(lo, hi int) {
+		for _, r := range g.Routers[lo:hi] {
+			sort.Slice(r.Interfaces, func(a, b int) bool {
+				return r.Interfaces[a].Addr.Less(r.Interfaces[b].Addr)
+			})
+		}
+	})
 	sort.Slice(g.Routers, func(i, j int) bool {
 		return g.Routers[i].Interfaces[0].Addr.Less(g.Routers[j].Interfaces[0].Addr)
 	})
@@ -371,50 +411,75 @@ func (b *Builder) Finish(rels RelationshipOracle) *Graph {
 		return g.sortedAddrs[i].Less(g.sortedAddrs[j])
 	})
 
-	for _, r := range g.Routers {
-		// §4.4: per-interface reallocated-prefix cleanup, then aggregate.
-		for _, i := range r.Interfaces {
-			dests := i.DestASes
-			if dests.Len() == 2 && rels != nil {
-				cleanReallocatedDest(i, rels)
+	// Per-router finishing touches only that router's state, so the pass
+	// shards cleanly; statistics accumulate into per-shard slots merged
+	// afterwards (counter sums commute, so the merge order is moot).
+	perShard := make([]GraphStats, len(shard.Bounds(len(g.Routers), b.Workers)))
+	shard.ForShards(len(g.Routers), b.Workers, func(s, lo, hi int) {
+		st := &perShard[s]
+		for _, r := range g.Routers[lo:hi] {
+			// §4.4: per-interface reallocated-prefix cleanup, then aggregate.
+			for _, i := range r.Interfaces {
+				dests := i.DestASes
+				if dests.Len() == 2 && rels != nil {
+					cleanReallocatedDest(i, rels)
+				}
+				r.DestASes.AddAll(dests)
 			}
-			r.DestASes.AddAll(dests)
-		}
-		if len(r.Links) == 0 {
-			r.LastHop = true
-			g.Stats.LastHopIRs++
-			if r.DestASes.Len() == 0 {
-				g.Stats.LastHopEmptyDst++
-			}
-		} else {
-			g.Stats.IRsWithLinks++
-			hasN, hasE := false, false
-			for _, l := range r.Links {
-				switch l.Label {
-				case LabelNexthop:
-					hasN = true
-					g.Stats.LinksNexthop++
-				case LabelEcho:
-					hasE = true
-					g.Stats.LinksEcho++
-				default:
-					g.Stats.LinksMultihop++
+			if len(r.Links) == 0 {
+				r.LastHop = true
+				st.LastHopIRs++
+				if r.DestASes.Len() == 0 {
+					st.LastHopEmptyDst++
+				}
+			} else {
+				st.IRsWithLinks++
+				hasN, hasE := false, false
+				for _, l := range r.Links {
+					switch l.Label {
+					case LabelNexthop:
+						hasN = true
+						st.LinksNexthop++
+					case LabelEcho:
+						hasE = true
+						st.LinksEcho++
+					default:
+						st.LinksMultihop++
+					}
+				}
+				if hasE && !hasN {
+					st.IRsEchoOnlyLink++
 				}
 			}
-			if hasE && !hasN {
-				g.Stats.IRsEchoOnlyLink++
+			// Initial interface annotations: the origin AS (§6).
+			for _, i := range r.Interfaces {
+				i.Annotation = i.Origin
 			}
 		}
-		// Initial interface annotations: the origin AS (§6).
-		for _, i := range r.Interfaces {
-			i.Annotation = i.Origin
-		}
+	})
+	for _, st := range perShard {
+		g.Stats.merge(st)
 	}
 	return g
 }
 
+// merge adds the counters of other into s (Traces excluded: it is a
+// whole-build number, not a per-shard one).
+func (s *GraphStats) merge(other GraphStats) {
+	s.LinksNexthop += other.LinksNexthop
+	s.LinksEcho += other.LinksEcho
+	s.LinksMultihop += other.LinksMultihop
+	s.IRsWithLinks += other.IRsWithLinks
+	s.IRsEchoOnlyLink += other.IRsEchoOnlyLink
+	s.LastHopIRs += other.LastHopIRs
+	s.LastHopEmptyDst += other.LastHopEmptyDst
+}
+
 // RelationshipOracle is the subset of asrel.Graph the core algorithm
 // consumes; the indirection keeps core testable with table-driven fakes.
+// When Options.Workers > 1 the engine queries the oracle from many
+// goroutines at once, so implementations must be safe for concurrent
+// readers (asrel.Graph guards its lazy cone cache accordingly).
 type RelationshipOracle interface {
 	HasRelationship(a, b asn.ASN) bool
 	IsProvider(p, c asn.ASN) bool

@@ -2,23 +2,28 @@ package core
 
 import (
 	"repro/internal/asn"
+	"repro/internal/shard"
 )
 
 // annotateLastHops implements phase 2 (paper §5): every IR without
 // outgoing links is annotated from its origin-AS set and destination-AS
 // set. These annotations are frozen — the refinement loop never revises
-// them (§3.3).
+// them (§3.3). Each last-hop annotation reads only the router's own
+// static sets and the oracle, so the pass shards across workers with no
+// snapshot needed and a worker-count-independent outcome.
 func annotateLastHops(g *Graph, rels RelationshipOracle, opts Options) {
-	for _, r := range g.Routers {
-		if !r.LastHop {
-			continue
+	shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
+		for _, r := range g.Routers[lo:hi] {
+			if !r.LastHop {
+				continue
+			}
+			if r.DestASes.Len() == 0 || opts.DisableLastHopDest {
+				r.Annotation = annotateEmptyDest(r, rels)
+			} else {
+				r.Annotation = annotateWithDest(r, rels)
+			}
 		}
-		if r.DestASes.Len() == 0 || opts.DisableLastHopDest {
-			r.Annotation = annotateEmptyDest(r, rels)
-		} else {
-			r.Annotation = annotateWithDest(r, rels)
-		}
-	}
+	})
 }
 
 // annotateEmptyDest handles §5.1: the IR's interfaces were only seen in

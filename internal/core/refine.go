@@ -7,6 +7,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/ip2as"
 	"repro/internal/netutil"
+	"repro/internal/shard"
 )
 
 // Options controls the inference run. The Disable* switches exist for
@@ -15,6 +16,15 @@ type Options struct {
 	// MaxIterations caps the refinement loop (default 50); the loop
 	// normally exits earlier on a repeated state (§6.3).
 	MaxIterations int
+	// Workers is the number of concurrent annotation workers (default
+	// runtime.GOMAXPROCS). Annotation within one iteration depends only
+	// on the previous iteration's committed state, so routers and
+	// interfaces are partitioned into deterministic contiguous shards
+	// and annotated concurrently; the Result is byte-identical for
+	// every worker count. 1 runs everything on the calling goroutine.
+	// When Workers > 1 the RelationshipOracle must be safe for
+	// concurrent readers (asrel.Graph is).
+	Workers int
 	// DisableLastHopDest ablates the §5.2 destination-AS last-hop
 	// heuristic (last hops then fall back to origin-set reasoning).
 	DisableLastHopDest bool
@@ -40,34 +50,82 @@ func (o *Options) setDefaults() {
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 50
 	}
+	o.Workers = shard.Resolve(o.Workers)
+}
+
+// cycleDetector tracks annotation-state hashes across iterations and
+// detects the §6.3 stopping condition: a state seen before. The cycle
+// length is the distance back to the earlier sighting — 1 for a fixed
+// point, >1 when the loop oscillates between states.
+type cycleDetector struct {
+	seen map[uint64]int // state hash → iteration it first appeared
+}
+
+func newCycleDetector() *cycleDetector {
+	return &cycleDetector{seen: make(map[uint64]int)}
+}
+
+// record notes the state hash of iteration iter. When the state repeats
+// an earlier one it returns (cycle length, true); otherwise (0, false).
+func (c *cycleDetector) record(h uint64, iter int) (int, bool) {
+	if first, ok := c.seen[h]; ok {
+		return iter - first, true
+	}
+	c.seen[h] = iter
+	return 0, false
 }
 
 // Run executes phases 2 and 3 over a constructed graph: last-hop
 // annotation (§5) followed by the graph-refinement loop (§6), stopping
 // at a repeated annotation state or the iteration cap.
+//
+// Each iteration runs in three barriered steps, each sharded across
+// opts.Workers goroutines:
+//
+//  1. snapshot — every router's annotation is committed to its
+//     previous-iteration slot;
+//  2. routers — every non-last-hop router is re-annotated (Alg. 2),
+//     reading neighbour router annotations only from the snapshot and
+//     interface annotations only from the previous iteration's commit;
+//  3. interfaces — every interface is re-annotated (§6.2), reading the
+//     router annotations step 2 just committed (interfaces never read
+//     other interfaces).
+//
+// Because every read is against a barrier-separated earlier step and
+// every write is owned by exactly one shard, the outcome is independent
+// of worker count and shard boundaries: Run(w=1) and Run(w=N) produce
+// byte-identical results.
 func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
 	opts.setDefaults()
 	annotateLastHops(g, rels, opts)
 
-	seen := make(map[uint64]int)
+	cycles := newCycleDetector()
 	res := &Result{Graph: g}
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		res.Iterations = iter
-		for _, r := range g.Routers {
-			if r.LastHop {
-				continue
+		shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
+			for _, r := range g.Routers[lo:hi] {
+				r.prevAnnotation = r.Annotation
 			}
-			r.Annotation = annotateRouter(r, rels, opts)
-		}
-		for _, addr := range g.sortedAddrs {
-			annotateInterface(g.Interfaces[addr], rels)
-		}
-		h := g.stateHash()
-		if _, repeated := seen[h]; repeated {
+		})
+		shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
+			for _, r := range g.Routers[lo:hi] {
+				if r.LastHop {
+					continue
+				}
+				r.Annotation = annotateRouter(r, rels, opts)
+			}
+		})
+		shard.For(len(g.sortedAddrs), opts.Workers, func(lo, hi int) {
+			for _, addr := range g.sortedAddrs[lo:hi] {
+				annotateInterface(g.Interfaces[addr], rels)
+			}
+		})
+		if n, repeated := cycles.record(g.stateHash(), iter); repeated {
 			res.Converged = true
+			res.CycleLength = n
 			break
 		}
-		seen[h] = iter
 	}
 	return res
 }
@@ -138,7 +196,7 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options) asn.ASN {
 		// Nothing to vote with (all interfaces and neighbours
 		// unannounced); keep the previous annotation so propagated
 		// annotations survive (§6.1.1 unannounced-address chains).
-		return r.Annotation
+		return r.prevAnnotation
 	}
 
 	// Alg. 2 lines 11–12: restrict the election to origin ASes plus
@@ -270,7 +328,10 @@ func linkHeuristics(l *Link, rels RelationshipOracle, opts Options) asn.ASN {
 	if j.Kind == ip2as.IXP {
 		return rels.LargestCone(origins.Sorted())
 	}
-	asj := j.Router.Annotation
+	// The neighbour IR's annotation comes from the previous iteration's
+	// snapshot: within an iteration every router reads the same
+	// committed state regardless of shard or worker count.
+	asj := j.Router.prevAnnotation
 	// Lines 4–5: unannounced subsequent address → vote for its IR's
 	// annotation, which propagates across unannounced chains (Fig. 8).
 	if j.Origin == asn.None {
@@ -318,7 +379,7 @@ func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
 	var annot asn.ASN
 	var prefix netip.Prefix
 	for i, l := range cands {
-		a := l.To.Router.Annotation
+		a := l.To.Router.prevAnnotation // previous iteration's snapshot
 		p := netutil.Slash24(l.To.Addr)
 		if i == 0 {
 			annot, prefix = a, p

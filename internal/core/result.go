@@ -19,6 +19,11 @@ type Result struct {
 	// Converged reports whether the loop stopped on a repeated state
 	// rather than the iteration cap.
 	Converged bool
+	// CycleLength is the distance between the repeated state and its
+	// earlier sighting when Converged: 1 means the loop reached a fixed
+	// point, >1 that it oscillated between CycleLength states (§6.3
+	// stops on either). 0 when the iteration cap ended the loop.
+	CycleLength int
 }
 
 // OperatorOf returns the AS inferred to operate the router owning addr,
@@ -115,14 +120,39 @@ func (res *Result) ASLinks() [][2]asn.ASN {
 }
 
 // Infer is the one-call entry point: build the graph from traces
-// (phase 1) and run phases 2–3.
+// (phase 1) and run phases 2–3. The IP→AS lookups for every distinct
+// observed address are performed concurrently across opts.Workers
+// before the (order-sensitive, sequential) graph build consumes them.
 func Infer(traces []*traceroute.Trace, resolver *ip2as.Resolver,
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) *Result {
 
+	opts.setDefaults()
 	b := NewBuilder(resolver, aliases)
+	b.Workers = opts.Workers
+	b.PreResolve(distinctAddrs(traces))
 	for _, t := range traces {
 		b.AddTrace(t)
 	}
 	g := b.Finish(rels)
 	return Run(g, rels, opts)
+}
+
+// distinctAddrs collects every distinct hop and destination address of
+// the traces, in first-seen order.
+func distinctAddrs(traces []*traceroute.Trace) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	var out []netip.Addr
+	add := func(a netip.Addr) {
+		if a.IsValid() && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, t := range traces {
+		add(t.Dst)
+		for _, h := range t.Hops {
+			add(h.Addr)
+		}
+	}
+	return out
 }

@@ -41,6 +41,12 @@ type Dataset struct {
 
 	// GT names the ground-truth validation networks.
 	GT map[string]asn.ASN
+
+	// Workers is the default worker count for inference runs launched
+	// through this dataset (0 = GOMAXPROCS). Worker count never changes
+	// an inference — the engine shards deterministically — only the
+	// wall-clock time of the experiments.
+	Workers int
 }
 
 // BuildDataset generates an Internet from cfg, selects numVPs vantage

@@ -44,6 +44,9 @@ func (ds *Dataset) RunBdrmapIT(aliases *alias.Sets, opts core.Options) *core.Res
 	if aliases == nil {
 		aliases = ds.Aliases
 	}
+	if opts.Workers == 0 {
+		opts.Workers = ds.Workers
+	}
 	return core.Infer(ds.Traces, ds.Resolver, aliases, ds.Rels, opts)
 }
 
@@ -71,7 +74,7 @@ func RunFig15(ds *Dataset) []Fig15Row {
 		p := ds.In.Prober()
 		aliases := alias.Merge(alias.MIDAR(p, addrs, alias.MIDAROptions{}), alias.Iffinder(p, addrs))
 
-		itRes := core.Infer(traces, ds.Resolver, aliases, ds.Rels, core.Options{})
+		itRes := core.Infer(traces, ds.Resolver, aliases, ds.Rels, core.Options{Workers: ds.Workers})
 		bRes := bdrmap.Infer(traces, ds.Resolver, aliases, ds.Rels, bdrmap.Options{VPAS: gt.ASN})
 
 		links := ObservedLinks(ds.In, traces)
@@ -153,7 +156,7 @@ func RunVPSweep(ds *Dataset, sizes []int, setsPerSize int) []SweepRow {
 				vps = vps[:size]
 			}
 			traces := ds.TracesFromVPs(vps)
-			res := core.Infer(traces, ds.Resolver, ds.Aliases, ds.Rels, core.Options{})
+			res := core.Infer(traces, ds.Resolver, ds.Aliases, ds.Rels, core.Options{Workers: ds.Workers})
 			links := ObservedLinks(ds.In, traces)
 			for _, gt := range ds.gtNetworks() {
 				pr := Score(links, res, gt.ASN, ScoreOptions{})

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ixp"
 	"repro/internal/netutil"
 	"repro/internal/rir"
+	"repro/internal/shard"
 )
 
 // Kind identifies which data source resolved an address.
@@ -49,7 +50,9 @@ func (k Kind) String() string {
 }
 
 // Resolver answers origin-AS queries over the layered sources. Any field
-// may be nil, in which case that layer is skipped.
+// may be nil, in which case that layer is skipped. Lookups are pure
+// reads over the underlying tries, so a Resolver is safe for any number
+// of concurrent readers once its sources stop being mutated.
 type Resolver struct {
 	IXPs        *ixp.Set
 	Table       *bgp.Table
@@ -89,6 +92,21 @@ func (r *Resolver) Lookup(addr netip.Addr) Result {
 // (asn.None when unresolvable or IXP).
 func (r *Resolver) Origin(addr netip.Addr) asn.ASN {
 	return r.Lookup(addr).Origin
+}
+
+// ResolveBatch resolves every address concurrently across the given
+// number of workers (<= 0 for GOMAXPROCS) and returns results aligned
+// with addrs. The longest-prefix lookups are read-only over the tries,
+// so shards need no locks; each worker writes only its own slice range,
+// making the output identical for every worker count.
+func (r *Resolver) ResolveBatch(addrs []netip.Addr, workers int) []Result {
+	out := make([]Result, len(addrs))
+	shard.For(len(addrs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = r.Lookup(addrs[i])
+		}
+	})
+	return out
 }
 
 // Coverage tallies how a set of addresses resolves across the sources;

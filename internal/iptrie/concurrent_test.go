@@ -1,0 +1,84 @@
+package iptrie
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+// The parallel refinement engine performs longest-prefix lookups from
+// many goroutines at once while the trie is no longer being mutated —
+// the read-only contract documented on Trie. This test hammers that
+// pattern so `go test -race ./internal/iptrie/...` can observe any
+// unsynchronized mutation a future change might introduce.
+func TestConcurrentReaders(t *testing.T) {
+	tr := New[int]()
+	var prefixes []netip.Prefix
+	for i := 0; i < 64; i++ {
+		for _, bits := range []int{16, 20, 24} {
+			p := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/%d", i, bits))
+			prefixes = append(prefixes, p.Masked())
+			tr.Insert(p, i*100+bits)
+		}
+	}
+	tr.Insert(netip.MustParsePrefix("2001:db8::/32"), -1)
+
+	const readers = 16
+	const lookupsPerReader = 2000
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	errs := make([]error, readers) // each reader writes only its own slot
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < lookupsPerReader; i++ {
+				// Mix every read entry point, as refinement does.
+				a := netip.AddrFrom4([4]byte{10, byte((r + i) % 64), byte(i), byte(i >> 8)})
+				v, match, ok := tr.Lookup(a)
+				if !ok {
+					errs[r] = fmt.Errorf("lookup %s: no match", a)
+					return
+				}
+				if !match.Contains(a) {
+					errs[r] = fmt.Errorf("lookup %s: match %s does not contain it", a, match)
+					return
+				}
+				if v%100 != match.Bits() {
+					errs[r] = fmt.Errorf("lookup %s: value %d inconsistent with /%d", a, v, match.Bits())
+					return
+				}
+				if !tr.Covered(a) {
+					errs[r] = fmt.Errorf("covered(%s) = false after successful lookup", a)
+					return
+				}
+				p := prefixes[(r*31+i)%len(prefixes)]
+				if _, ok := tr.Get(p); !ok {
+					errs[r] = fmt.Errorf("get(%s): inserted prefix missing", p)
+					return
+				}
+				if !tr.CoveredByPrefix(p) {
+					errs[r] = fmt.Errorf("coveredByPrefix(%s) = false", p)
+					return
+				}
+			}
+		}(r)
+	}
+	// One goroutine walks while the others look up.
+	var walkErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		tr.Walk(func(netip.Prefix, int) bool { n++; return true })
+		if n != tr.Len() {
+			walkErr = fmt.Errorf("walk visited %d prefixes, len is %d", n, tr.Len())
+		}
+	}()
+	wg.Wait()
+	for _, err := range append(errs, walkErr) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

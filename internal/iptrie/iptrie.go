@@ -20,6 +20,12 @@ type node[V any] struct {
 // Trie maps IP prefixes to values with longest-prefix-match semantics.
 // The zero value is ready to use. IPv4 and IPv6 live in separate roots so
 // 4-in-6 mapped addresses never collide with native IPv6 space.
+//
+// A Trie is safe for any number of concurrent readers (Lookup, Get,
+// Covered, CoveredByPrefix, Walk, Len) once mutation (Insert, Update)
+// has stopped — the access pattern of the parallel inference engine,
+// which builds the tries during input loading and then only reads. It
+// is not safe to mutate concurrently with any other access.
 type Trie[V any] struct {
 	v4, v6 *node[V]
 	length int

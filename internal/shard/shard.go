@@ -1,0 +1,82 @@
+// Package shard provides deterministic contiguous partitioning and a
+// minimal fork-join worker pool. It is the substrate of the parallel
+// refinement engine: work over an index space [0,n) is split into
+// contiguous shards, one goroutine per shard, with a full barrier at the
+// end. Because the shard boundaries are a pure function of (n, workers)
+// and shard bodies write only to their own index range, results are
+// identical for every worker count — parallelism never changes an
+// inference, only how fast it arrives.
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve normalizes a worker-count option: values <= 0 mean "use every
+// available CPU" (runtime.GOMAXPROCS).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Bounds partitions [0,n) into at most k contiguous half-open ranges
+// [lo,hi) of near-equal size (sizes differ by at most one, larger shards
+// first). It returns nil when n <= 0. The partition is a pure function
+// of (n, k): the same inputs always produce the same boundaries.
+func Bounds(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	k = Resolve(k)
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	size, rem := n/k, n%k
+	lo := 0
+	for s := 0; s < k; s++ {
+		hi := lo + size
+		if s < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// For runs fn over [0,n) split into at most `workers` contiguous shards,
+// one goroutine per shard, and returns after every shard completes.
+// With workers <= 1 (or a single shard) fn runs inline on the calling
+// goroutine — the serial engine is literally the parallel engine at one
+// worker. fn must only write state owned by indexes in its [lo,hi)
+// range; reads of shared state must be of data no shard writes.
+func For(n, workers int, fn func(lo, hi int)) {
+	ForShards(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForShards is For with the shard index passed through, so callers can
+// accumulate into per-shard slots (e.g. statistics) without locks and
+// merge deterministically afterwards.
+func ForShards(n, workers int, fn func(shard, lo, hi int)) {
+	bounds := Bounds(n, workers)
+	if len(bounds) == 0 {
+		return
+	}
+	if len(bounds) == 1 {
+		fn(0, bounds[0][0], bounds[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(bounds))
+	for s, b := range bounds {
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, b[0], b[1])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBoundsCoverExactly(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 1}, {100, 7}, {3, 100},
+	} {
+		bounds := Bounds(tc.n, tc.k)
+		covered := 0
+		prev := 0
+		for _, b := range bounds {
+			if b[0] != prev {
+				t.Fatalf("Bounds(%d,%d): gap before shard starting at %d", tc.n, tc.k, b[0])
+			}
+			if b[1] <= b[0] {
+				t.Fatalf("Bounds(%d,%d): empty shard %v", tc.n, tc.k, b)
+			}
+			covered += b[1] - b[0]
+			prev = b[1]
+		}
+		if covered != max(tc.n, 0) {
+			t.Errorf("Bounds(%d,%d) covered %d items", tc.n, tc.k, covered)
+		}
+		if tc.n > 0 && len(bounds) > min(tc.n, Resolve(tc.k)) {
+			t.Errorf("Bounds(%d,%d) produced %d shards", tc.n, tc.k, len(bounds))
+		}
+	}
+}
+
+func TestBoundsDeterministic(t *testing.T) {
+	a := Bounds(1234, 7)
+	for i := 0; i < 10; i++ {
+		b := Bounds(1234, 7)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("Bounds not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestBoundsSizesBalanced(t *testing.T) {
+	bounds := Bounds(10, 3) // expect 4,3,3
+	sizes := []int{}
+	for _, b := range bounds {
+		sizes = append(sizes, b[1]-b[0])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i-1] < sizes[i] || sizes[0]-sizes[i] > 1 {
+			t.Fatalf("unbalanced shard sizes %v", sizes)
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 100} {
+		const n = 997
+		visits := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Error("For called fn for n=0")
+	}
+}
+
+func TestForShardsIndexes(t *testing.T) {
+	bounds := Bounds(50, 4)
+	ran := make([]int32, len(bounds)) // each shard writes only its own slot
+	ForShards(50, 4, func(s, lo, hi int) {
+		if b := bounds[s]; b[0] != lo || b[1] != hi {
+			t.Errorf("shard %d got [%d,%d), want %v", s, lo, hi, b)
+		}
+		ran[s]++
+	})
+	for s, n := range ran {
+		if n != 1 {
+			t.Errorf("shard %d ran %d times", s, n)
+		}
+	}
+}
