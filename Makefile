@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet lint build test race bench smoke profile
 
-ci: vet build test race
+ci: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# Static checks beyond vet: formatting drift fails the build.
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -19,4 +26,28 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/iptrie/... ./internal/shard/... ./internal/asrel/...
 
 bench:
-	$(GO) test -short -bench 'BenchmarkRefineWorkers|BenchmarkInferenceWorkers' -benchmem .
+	$(GO) test -short -bench 'BenchmarkRefineWorkers|BenchmarkInferenceWorkers|BenchmarkRefineRecorder' -benchmem .
+
+# End-to-end smoke: generate a small simnet dataset, run the CLI with
+# telemetry enabled, and validate the emitted run report (phases parse,
+# durations non-zero, pipeline counters fired).
+SMOKE_DIR ?= /tmp/bdrmapit-smoke
+smoke:
+	rm -rf $(SMOKE_DIR)
+	$(GO) run ./cmd/topogen -out $(SMOKE_DIR) -small -seed 7 -vps 10
+	$(GO) run ./cmd/bdrmapit \
+		-traces $(SMOKE_DIR)/traces.jsonl -rib $(SMOKE_DIR)/rib.txt \
+		-rir $(SMOKE_DIR)/delegated-extended.txt -ixp $(SMOKE_DIR)/ixp-prefixes.txt \
+		-rels $(SMOKE_DIR)/as-rel.txt -aliases $(SMOKE_DIR)/nodes.txt \
+		-quiet-report -report-json $(SMOKE_DIR)/report.json
+	$(GO) run ./cmd/reportcheck -report $(SMOKE_DIR)/report.json \
+		-counters load.traces,graph.interfaces,graph.routers,refine.votes_cast
+
+# CPU/heap profiles of the benchmark suite, for pprof inspection:
+#   go tool pprof profiles/refine.cpu.pprof
+profile:
+	mkdir -p profiles
+	$(GO) test -short -run XXX -bench 'BenchmarkRefineWorkers|BenchmarkRefineRecorder' \
+		-cpuprofile profiles/refine.cpu.pprof -memprofile profiles/refine.mem.pprof .
+	$(GO) test -short -run XXX -bench BenchmarkInferenceWorkers \
+		-cpuprofile profiles/inference.cpu.pprof -memprofile profiles/inference.mem.pprof .

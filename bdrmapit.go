@@ -44,6 +44,7 @@ import (
 	"repro/internal/itdk"
 	"repro/internal/ixp"
 	"repro/internal/mrt"
+	"repro/internal/obs"
 	"repro/internal/pfx2as"
 	"repro/internal/rir"
 	"repro/internal/traceroute"
@@ -99,6 +100,13 @@ type Options struct {
 	// DisableDestTieBreak ablates the destination-coverage vote
 	// tie-break (an extension beyond the paper; see DESIGN.md).
 	DisableDestTieBreak bool
+	// Recorder receives run telemetry: phase timings, loader and
+	// heuristic counters, and the per-iteration convergence trace. When
+	// nil, Run creates one internally so Result.Report is always
+	// populated; supply a recorder to stream progress logs
+	// (Recorder.SetLogOutput) or serve live metrics (obs.Serve) during
+	// the run.
+	Recorder *obs.Recorder
 }
 
 func (o Options) internal() core.Options {
@@ -111,6 +119,7 @@ func (o Options) internal() core.Options {
 		DisableExceptions:   o.DisableExceptions,
 		DisableHiddenAS:     o.DisableHiddenAS,
 		DisableDestTieBreak: o.DisableDestTieBreak,
+		Recorder:            o.Recorder,
 	}
 }
 
@@ -135,6 +144,11 @@ type Result struct {
 	// Converged reports whether the refinement loop reached a repeated
 	// state before the iteration cap.
 	Converged bool
+	// Report is the run's telemetry snapshot: per-phase wall-clock
+	// timings, loader/graph/heuristic counters, and the per-iteration
+	// convergence trace. It marshals to JSON and renders with
+	// obs.WriteSummary.
+	Report *obs.Report
 }
 
 // RouterOperator returns the AS inferred to operate the router that
@@ -241,26 +255,53 @@ func Run(src Sources, opts Options) (*Result, error) {
 	if len(src.TraceroutePaths) == 0 {
 		return nil, fmt.Errorf("bdrmapit: no traceroute inputs")
 	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.New()
+		opts.Recorder = rec
+	}
+
+	loadPhase := rec.Phase("load-inputs")
+	tracePhase := rec.Phase("load-traces")
 	var traces []*traceroute.Trace
 	for _, p := range src.TraceroutePaths {
-		ts, err := readTraces(p)
+		ts, stats, err := readTraces(p)
 		if err != nil {
 			return nil, err
 		}
 		traces = append(traces, ts...)
+		rec.Counter("load.traces").Add(int64(len(ts)))
+		rec.Counter("load.traces.skipped_records").Add(int64(stats.SkippedRecords))
+		rec.Counter("load.traces.dropped_hops").Add(int64(stats.DroppedHops))
+		rec.Logf("loaded %d traces from %s", len(ts), p)
 	}
+	tracePhase.Note("traces", int64(len(traces)))
+	tracePhase.End()
 
+	ribPhase := rec.Phase("load-rib")
 	var routes []bgp.Route
 	for _, p := range src.BGPRIBPaths {
-		reader := bgp.ReadRoutes
+		var (
+			r     []bgp.Route
+			stats bgp.ReadStats
+			err   error
+		)
 		if strings.EqualFold(filepath.Ext(p), ".mrt") {
-			reader = mrt.Read
+			r, err = withFile(p, mrt.Read)
+			stats.Routes = len(r)
+		} else {
+			err = withFileErr(p, func(f io.Reader) error {
+				var rerr error
+				r, stats, rerr = bgp.ReadRoutesStats(f)
+				return rerr
+			})
 		}
-		r, err := withFile(p, reader)
 		if err != nil {
 			return nil, fmt.Errorf("bdrmapit: rib %s: %w", p, err)
 		}
 		routes = append(routes, r...)
+		rec.Counter("load.rib.routes").Add(int64(stats.Routes))
+		rec.Counter("load.rib.skipped_lines").Add(int64(stats.SkippedLines))
 	}
 	for _, p := range src.Prefix2ASPaths {
 		entries, err := withFile(p, pfx2as.Read)
@@ -279,15 +320,30 @@ func Run(src Sources, opts Options) (*Result, error) {
 			}
 			routes = append(routes, bgp.Route{Prefix: e.Prefix, Path: []bgp.PathElem{elem}})
 		}
+		rec.Counter("load.rib.routes").Add(int64(len(entries)))
 	}
+	ribPhase.Note("routes", int64(len(routes)))
+	ribPhase.End()
 
+	rirPhase := rec.Phase("load-rir")
 	dels := rir.New()
 	for _, p := range src.RIRDelegationPaths {
-		if err := withFileErr(p, func(f io.Reader) error { return rir.ReadInto(dels, f) }); err != nil {
+		var stats rir.ReadStats
+		if err := withFileErr(p, func(f io.Reader) error {
+			var rerr error
+			stats, rerr = rir.ReadIntoStats(dels, f)
+			return rerr
+		}); err != nil {
 			return nil, fmt.Errorf("bdrmapit: rir %s: %w", p, err)
 		}
+		rec.Counter("load.rir.records").Add(int64(stats.Records))
+		rec.Counter("load.rir.addr_records").Add(int64(stats.AddrRecords))
+		rec.Counter("load.rir.unmatched_opaque").Add(int64(stats.UnmatchedOpaque))
 	}
+	rirPhase.Note("prefixes", int64(dels.NumPrefixes()))
+	rirPhase.End()
 
+	ixpPhase := rec.Phase("load-ixp")
 	ixps := ixp.NewSet()
 	for _, p := range src.IXPPrefixListPaths {
 		if err := withFileErr(p, func(f io.Reader) error {
@@ -297,13 +353,18 @@ func Run(src Sources, opts Options) (*Result, error) {
 			case ".csv":
 				return ixps.ReadCSV(f)
 			default:
-				return ixps.ReadList(f)
+				_, err := ixps.ReadListStats(f)
+				return err
 			}
 		}); err != nil {
 			return nil, fmt.Errorf("bdrmapit: ixp %s: %w", p, err)
 		}
 	}
+	rec.Counter("load.ixp.prefixes").Add(int64(ixps.Len()))
+	ixpPhase.Note("prefixes", int64(ixps.Len()))
+	ixpPhase.End()
 
+	relPhase := rec.Phase("load-relationships")
 	var rels *asrel.Graph
 	if len(src.ASRelationshipPaths) > 0 {
 		rels = asrel.New()
@@ -320,9 +381,14 @@ func Run(src Sources, opts Options) (*Result, error) {
 			paths = append(paths, rt.ASPath())
 		}
 		rels = asrel.Infer(paths)
+		rec.Logf("inferred AS relationships from %d RIB paths", len(paths))
 	}
+	rec.Counter("load.rel.ases").Add(int64(len(rels.ASes())))
+	relPhase.End()
 
+	aliasPhase := rec.Phase("load-aliases")
 	aliases := alias.NewSets()
+	aliasGroups := 0
 	for _, p := range src.AliasNodePaths {
 		s, err := withFile(p, alias.ReadNodes)
 		if err != nil {
@@ -330,19 +396,31 @@ func Run(src Sources, opts Options) (*Result, error) {
 		}
 		s.Groups(func(addrs []netip.Addr) bool {
 			aliases.Add(addrs...)
+			aliasGroups++
 			return true
 		})
 	}
+	rec.Counter("load.alias.groups").Add(int64(aliasGroups))
+	aliasPhase.End()
+	loadPhase.End()
+	rec.Logf("inputs loaded: %d traces, %d routes, %d rir prefixes, %d ixp prefixes",
+		len(traces), len(routes), dels.NumPrefixes(), ixps.Len())
 
 	resolver := &ip2as.Resolver{IXPs: ixps, Table: bgp.NewTable(routes), Delegations: dels}
 	res := core.Infer(traces, resolver, aliases, rels, opts.internal())
-	return &Result{res: res, Iterations: res.Iterations, Converged: res.Converged}, nil
+	return &Result{
+		res:        res,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Report:     res.Report,
+	}, nil
 }
 
-func readTraces(path string) ([]*traceroute.Trace, error) {
+func readTraces(path string) ([]*traceroute.Trace, traceroute.ReadStats, error) {
+	var stats traceroute.ReadStats
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("bdrmapit: %w", err)
+		return nil, stats, fmt.Errorf("bdrmapit: %w", err)
 	}
 	defer f.Close()
 	var out []*traceroute.Trace
@@ -352,13 +430,14 @@ func readTraces(path string) ([]*traceroute.Trace, error) {
 	}
 	if strings.EqualFold(filepath.Ext(path), ".bin") {
 		err = traceroute.ReadBinary(f, collect)
+		stats.Traces = len(out)
 	} else {
-		err = traceroute.ReadJSONL(f, collect)
+		stats, err = traceroute.ReadJSONLStats(f, collect)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("bdrmapit: traces %s: %w", path, err)
+		return nil, stats, fmt.Errorf("bdrmapit: traces %s: %w", path, err)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 func withFile[T any](path string, f func(io.Reader) (T, error)) (T, error) {

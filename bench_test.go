@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -260,6 +261,32 @@ func BenchmarkRefineWorkers(b *testing.B) {
 				g := buildBenchGraph(ds, w)
 				b.StartTimer()
 				res := core.Run(g, ds.Rels, core.Options{Workers: w})
+				if !res.Converged {
+					b.Fatal("refinement did not converge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRefineRecorder measures the telemetry overhead of the
+// refinement engine: the same phase 2–3 run with no recorder versus a
+// live one. The instrumented variant must stay within a few percent of
+// the no-op baseline (per-shard tallies merge once per shard, so the
+// hot loop sees only plain integer increments).
+func BenchmarkRefineRecorder(b *testing.B) {
+	ds := benchDataset(b)
+	for _, mode := range []string{"off", "on"} {
+		b.Run("recorder="+mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := buildBenchGraph(ds, 0)
+				opts := core.Options{}
+				if mode == "on" {
+					opts.Recorder = obs.New()
+				}
+				b.StartTimer()
+				res := core.Run(g, ds.Rels, opts)
 				if !res.Converged {
 					b.Fatal("refinement did not converge")
 				}

@@ -13,10 +13,17 @@
 // the RIB. The -annotations output is "address router-AS connected-AS"
 // per observed interface; -links is "nearAS farAS farAddress
 // confidence" per inferred interdomain link.
+//
+// Telemetry: a run report (phase timings, convergence trace, heuristic
+// counters) is printed to stderr after the run and written as JSON with
+// -report-json. -v streams progress logs while the run executes, and
+// -metrics-addr serves live expvar-style metrics plus net/http/pprof
+// at http://ADDR/debug/ for profiling long runs.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +32,7 @@ import (
 	"strings"
 
 	bdrmapit "repro"
+	"repro/internal/obs"
 )
 
 func split(s string) []string {
@@ -49,10 +57,25 @@ func main() {
 		itdkOut = flag.String("itdk", "", "write ITDK-format output (nodes, nodes.as, links) into this directory")
 		maxIter = flag.Int("max-iterations", 0, "refinement iteration cap (default 50)")
 		workers = flag.Int("workers", 0, "concurrent annotation workers (default GOMAXPROCS; results are identical for any count)")
+		verbose = flag.Bool("v", false, "stream progress logs to stderr while the run executes")
+		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof at this address (e.g. localhost:6060)")
+		repJSON = flag.String("report-json", "", "write the run report as JSON to this file (- for stdout)")
+		quiet   = flag.Bool("quiet-report", false, "suppress the stderr run-report summary")
 	)
 	flag.Parse()
 	if *traces == "" {
 		log.Fatal("-traces is required")
+	}
+	rec := obs.New()
+	if *verbose {
+		rec.SetLogOutput(os.Stderr)
+	}
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics and pprof at http://%s/debug/\n", addr)
 	}
 	res, err := bdrmapit.Run(bdrmapit.Sources{
 		TraceroutePaths:     split(*traces),
@@ -61,7 +84,7 @@ func main() {
 		IXPPrefixListPaths:  split(*ixpF),
 		ASRelationshipPaths: split(*rels),
 		AliasNodePaths:      split(*aliases),
-	}, bdrmapit.Options{MaxIterations: *maxIter, Workers: *workers})
+	}, bdrmapit.Options{MaxIterations: *maxIter, Workers: *workers, Recorder: rec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +121,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("ITDK files written to", *itdkOut)
+	}
+
+	if !*quiet {
+		obs.WriteSummary(os.Stderr, res.Report)
+	}
+	if *repJSON != "" {
+		data, err := json.MarshalIndent(res.Report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *repJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*repJSON, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -27,14 +29,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evalharness: ")
 	var (
-		seed  = flag.Int64("seed", 2018, "simulation seed")
-		vps   = flag.Int("vps", 100, "number of vantage points in the main dataset")
-		small = flag.Bool("small", false, "use the small test-scale topology")
-		dual  = flag.Bool("dual", false, "also build a second dataset (seed+2) and report both, like the paper's 2016+2018 campaigns")
-		work  = flag.Int("workers", 0, "concurrent annotation workers per inference (default GOMAXPROCS; results are identical for any count)")
-		exp   = flag.String("experiment", "all", "experiment to run (stats, fig15, fig16, fig17, fig18, fig19, fig20, noalias, aliasimpact, ablations, all)")
+		seed    = flag.Int64("seed", 2018, "simulation seed")
+		vps     = flag.Int("vps", 100, "number of vantage points in the main dataset")
+		small   = flag.Bool("small", false, "use the small test-scale topology")
+		dual    = flag.Bool("dual", false, "also build a second dataset (seed+2) and report both, like the paper's 2016+2018 campaigns")
+		work    = flag.Int("workers", 0, "concurrent annotation workers per inference (default GOMAXPROCS; results are identical for any count)")
+		exp     = flag.String("experiment", "all", "experiment to run (stats, fig15, fig16, fig17, fig18, fig19, fig20, noalias, aliasimpact, ablations, all)")
+		verbose = flag.Bool("v", false, "stream progress logs to stderr")
+		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof at this address (e.g. localhost:6060)")
+		repJSON = flag.String("report-json", "", "write the harness timing report as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
+
+	rec := obs.New()
+	if *verbose {
+		rec.SetLogOutput(os.Stderr)
+	}
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics and pprof at http://%s/debug/\n", addr)
+	}
 
 	cfg := topo.DefaultConfig(*seed)
 	if *small {
@@ -44,10 +61,12 @@ func main() {
 		}
 	}
 	fmt.Printf("# bdrmapIT evaluation harness (seed=%d, vps=%d)\n", *seed, *vps)
+	buildPhase := rec.Phase("build-dataset")
 	ds, err := eval.BuildDataset(cfg, *vps, true)
 	if err != nil {
 		log.Fatal(err)
 	}
+	buildPhase.End()
 	ds.Workers = *work
 	fmt.Printf("# topology: %d ASes, %d routers, %d ground-truth links\n",
 		len(ds.In.ASList), len(ds.In.Routers), len(ds.In.TrueInterdomainLinks()))
@@ -68,6 +87,8 @@ func main() {
 	}
 	run := func(name string, f func(*eval.Dataset)) {
 		if *exp == "all" || *exp == name {
+			ph := rec.Phase(name)
+			rec.Logf("running experiment %s", name)
 			for i, d := range datasets {
 				if len(datasets) > 1 {
 					fmt.Printf("### campaign %d (seed %d)\n", i+1, d.In.Cfg.Seed)
@@ -75,6 +96,7 @@ func main() {
 				f(d)
 				fmt.Println()
 			}
+			ph.End()
 		}
 	}
 	run("stats", printStats)
@@ -96,6 +118,22 @@ func main() {
 			"noalias", "aliasimpact", "ipv6", "rels", "errors", "ablations":
 		default:
 			log.Fatalf("unknown experiment %q", *exp)
+		}
+	}
+
+	rep := rec.Report()
+	fmt.Fprintf(os.Stderr, "evalharness: wall clock %v, peak rss %s\n",
+		obs.FormatDuration(rep.WallNS), obs.FormatBytes(rep.PeakRSSBytes))
+	if *repJSON != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *repJSON == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*repJSON, data, 0o644); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+// Command reportcheck validates a run report produced with
+// bdrmapit -report-json: the JSON must parse as an obs.Report, every
+// phase must carry a non-zero duration, and the named counters (if
+// given) must be present and non-zero. CI's smoke test pipes a fresh
+// report through it so a telemetry regression fails the build rather
+// than silently emptying the report.
+//
+// Usage:
+//
+//	reportcheck -report FILE [-counters name,name...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reportcheck: ")
+	var (
+		path     = flag.String("report", "", "run report JSON file (required)")
+		counters = flag.String("counters", "", "comma-separated counter names that must be non-zero")
+	)
+	flag.Parse()
+	if *path == "" {
+		log.Fatal("-report is required")
+	}
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		log.Fatalf("%s: not a valid run report: %v", *path, err)
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "reportcheck: FAIL: "+format+"\n", args...)
+	}
+
+	if rep.WallNS <= 0 {
+		fail("wall_ns = %d, want > 0", rep.WallNS)
+	}
+	if len(rep.Phases) == 0 {
+		fail("report has no phases")
+	}
+	phases := 0
+	var walk func(ps []obs.PhaseReport)
+	walk = func(ps []obs.PhaseReport) {
+		for _, p := range ps {
+			phases++
+			if p.DurationNS <= 0 {
+				fail("phase %q duration = %d ns, want > 0", p.Name, p.DurationNS)
+			}
+			walk(p.Children)
+		}
+	}
+	walk(rep.Phases)
+
+	for _, name := range strings.Split(*counters, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if v, ok := rep.Counters[name]; !ok {
+			fail("counter %q missing", name)
+		} else if v == 0 {
+			fail("counter %q = 0, want > 0", name)
+		}
+	}
+
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("reportcheck: ok — %d phases, %d counters, wall clock %s\n",
+		phases, len(rep.Counters), obs.FormatDuration(rep.WallNS))
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ip2as"
 	"repro/internal/mrt"
 	"repro/internal/netutil"
+	"repro/internal/obs"
 	"repro/internal/traceroute"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	if *traces == "" {
 		log.Fatal("-traces is required")
 	}
+	rec := obs.New()
 
 	var (
 		nTraces  int
@@ -133,4 +135,8 @@ func main() {
 		fmt.Printf("origin coverage:   %.2f%% of observed addresses match the RIB\n",
 			100*cov.Fraction())
 	}
+
+	rep := rec.Report()
+	fmt.Fprintf(os.Stderr, "tracestats: wall clock %s, peak rss %s\n",
+		obs.FormatDuration(rep.WallNS), obs.FormatBytes(rep.PeakRSSBytes))
 }

@@ -103,9 +103,25 @@ func ParsePath(s string) ([]PathElem, error) {
 	return out, nil
 }
 
+// ReadStats tallies what a RIB scan consumed versus skipped.
+type ReadStats struct {
+	// Routes is the number of routes parsed.
+	Routes int
+	// SkippedLines counts blank and comment lines.
+	SkippedLines int
+}
+
 // ReadRoutes reads a RIB dump: one route per line, "prefix|as path".
 // Blank lines and lines starting with '#' are skipped.
 func ReadRoutes(r io.Reader) ([]Route, error) {
+	routes, _, err := ReadRoutesStats(r)
+	return routes, err
+}
+
+// ReadRoutesStats is ReadRoutes returning skip tallies alongside the
+// parsed routes.
+func ReadRoutesStats(r io.Reader) ([]Route, ReadStats, error) {
+	var stats ReadStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var out []Route
@@ -114,29 +130,31 @@ func ReadRoutes(r io.Reader) ([]Route, error) {
 		lineno++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			stats.SkippedLines++
 			continue
 		}
 		pfxStr, pathStr, ok := strings.Cut(line, "|")
 		if !ok {
-			return nil, fmt.Errorf("bgp: line %d: missing '|' separator", lineno)
+			return nil, stats, fmt.Errorf("bgp: line %d: missing '|' separator", lineno)
 		}
 		p, err := netip.ParsePrefix(strings.TrimSpace(pfxStr))
 		if err != nil {
-			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+			return nil, stats, fmt.Errorf("bgp: line %d: %w", lineno, err)
 		}
 		path, err := ParsePath(pathStr)
 		if err != nil {
-			return nil, fmt.Errorf("bgp: line %d: %w", lineno, err)
+			return nil, stats, fmt.Errorf("bgp: line %d: %w", lineno, err)
 		}
 		if len(path) == 0 {
-			return nil, fmt.Errorf("bgp: line %d: empty AS path", lineno)
+			return nil, stats, fmt.Errorf("bgp: line %d: empty AS path", lineno)
 		}
 		out = append(out, Route{Prefix: p.Masked(), Path: path})
+		stats.Routes++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bgp: read: %w", err)
+		return nil, stats, fmt.Errorf("bgp: read: %w", err)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // WriteRoutes writes routes in the format ReadRoutes accepts.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/ip2as"
 	"repro/internal/netutil"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/traceroute"
 )
@@ -179,6 +180,10 @@ type Builder struct {
 	// <= 0 means runtime.GOMAXPROCS.
 	Workers int
 
+	// Rec receives construction telemetry (resolve coverage, graph
+	// shape, link-label breakdown). Nil disables recording.
+	Rec *obs.Recorder
+
 	ifaces   map[netip.Addr]*Interface
 	routers  map[int]*Router // alias group id → router
 	nextID   int
@@ -236,6 +241,7 @@ func (b *Builder) newRouter() *Router {
 // share them safely; results land in a cache the (sequential) graph
 // build then consults, keeping the build itself deterministic.
 func (b *Builder) PreResolve(addrs []netip.Addr) {
+	ph := b.Rec.Phase("resolve")
 	results := b.resolver.ResolveBatch(addrs, b.Workers)
 	if b.resolved == nil {
 		b.resolved = make(map[netip.Addr]ip2as.Result, len(addrs))
@@ -243,6 +249,17 @@ func (b *Builder) PreResolve(addrs []netip.Addr) {
 	for i, a := range addrs {
 		b.resolved[a] = results[i]
 	}
+	if b.Rec.Enabled() {
+		cov := ip2as.MeasureResults(results)
+		b.Rec.Counter("resolve.addrs").Add(int64(cov.Total))
+		b.Rec.Counter("resolve.by_bgp").Add(int64(cov.ByBGP))
+		b.Rec.Counter("resolve.by_rir").Add(int64(cov.ByRIR))
+		b.Rec.Counter("resolve.by_ixp").Add(int64(cov.ByIXP))
+		b.Rec.Counter("resolve.unannounced").Add(int64(cov.UnannouncedN))
+		b.Rec.Counter("resolve.special").Add(int64(cov.SpecialN))
+		ph.Note("addrs", int64(cov.Total))
+	}
+	ph.End()
 }
 
 // lookup resolves addr, consulting the PreResolve cache first.
@@ -377,6 +394,8 @@ func cleanHops(hops []traceroute.Hop) []traceroute.Hop {
 // interface annotations (§6), and statistics. The Builder must not be
 // used afterwards.
 func (b *Builder) Finish(rels RelationshipOracle) *Graph {
+	ph := b.Rec.Phase("finish-graph")
+	defer ph.End()
 	g := &Graph{Interfaces: b.ifaces}
 	g.Stats.Traces = b.traces
 
@@ -459,6 +478,20 @@ func (b *Builder) Finish(rels RelationshipOracle) *Graph {
 	})
 	for _, st := range perShard {
 		g.Stats.merge(st)
+	}
+	if b.Rec.Enabled() {
+		b.Rec.Counter("graph.traces").Add(int64(g.Stats.Traces))
+		b.Rec.Counter("graph.interfaces").Add(int64(len(g.Interfaces)))
+		b.Rec.Counter("graph.routers").Add(int64(len(g.Routers)))
+		b.Rec.Counter("graph.links.nexthop").Add(int64(g.Stats.LinksNexthop))
+		b.Rec.Counter("graph.links.echo").Add(int64(g.Stats.LinksEcho))
+		b.Rec.Counter("graph.links.multihop").Add(int64(g.Stats.LinksMultihop))
+		b.Rec.Counter("graph.irs_with_links").Add(int64(g.Stats.IRsWithLinks))
+		b.Rec.Counter("graph.irs_echo_only").Add(int64(g.Stats.IRsEchoOnlyLink))
+		b.Rec.Counter("graph.lasthop_irs").Add(int64(g.Stats.LastHopIRs))
+		b.Rec.Counter("graph.lasthop_empty_dst").Add(int64(g.Stats.LastHopEmptyDst))
+		ph.Note("interfaces", int64(len(g.Interfaces)))
+		ph.Note("routers", int64(len(g.Routers)))
 	}
 	return g
 }

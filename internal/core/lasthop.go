@@ -2,8 +2,43 @@ package core
 
 import (
 	"repro/internal/asn"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
+
+// lasthopTally holds prefetched atomic counter handles for the phase-2
+// branch counts (which clause of §5.1/Algorithm 1 decided each router).
+// The handles are nil-safe no-ops when no recorder is attached, and
+// atomic otherwise, so the sharded annotation pass updates them from
+// every worker without locks.
+type lasthopTally struct {
+	emptyDest, withDest *obs.Counter
+
+	// §5.1 (no destination evidence) branches.
+	emptyNoOrigin, emptySingleOrigin *obs.Counter
+	emptyRelated, emptyOutside       *obs.Counter
+	emptyVote                        *obs.Counter
+
+	// Algorithm 1 (§5.2) branches.
+	alg1Overlap, alg1DestRel *obs.Counter
+	alg1Bridge, alg1Smallest *obs.Counter
+}
+
+func newLasthopTally(rec *obs.Recorder) *lasthopTally {
+	return &lasthopTally{
+		emptyDest:         rec.Counter("lasthop.empty_dest"),
+		withDest:          rec.Counter("lasthop.with_dest"),
+		emptyNoOrigin:     rec.Counter("lasthop.empty.no_origin"),
+		emptySingleOrigin: rec.Counter("lasthop.empty.single_origin"),
+		emptyRelated:      rec.Counter("lasthop.empty.related_in_set"),
+		emptyOutside:      rec.Counter("lasthop.empty.related_outside"),
+		emptyVote:         rec.Counter("lasthop.empty.majority_vote"),
+		alg1Overlap:       rec.Counter("lasthop.alg1.origin_dest_overlap"),
+		alg1DestRel:       rec.Counter("lasthop.alg1.dest_with_rel"),
+		alg1Bridge:        rec.Counter("lasthop.alg1.bridge_as"),
+		alg1Smallest:      rec.Counter("lasthop.alg1.smallest_cone"),
+	}
+}
 
 // annotateLastHops implements phase 2 (paper §5): every IR without
 // outgoing links is annotated from its origin-AS set and destination-AS
@@ -12,15 +47,18 @@ import (
 // static sets and the oracle, so the pass shards across workers with no
 // snapshot needed and a worker-count-independent outcome.
 func annotateLastHops(g *Graph, rels RelationshipOracle, opts Options) {
+	t := newLasthopTally(opts.Recorder)
 	shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
 		for _, r := range g.Routers[lo:hi] {
 			if !r.LastHop {
 				continue
 			}
 			if r.DestASes.Len() == 0 || opts.DisableLastHopDest {
-				r.Annotation = annotateEmptyDest(r, rels)
+				t.emptyDest.Inc()
+				r.Annotation = annotateEmptyDest(r, rels, t)
 			} else {
-				r.Annotation = annotateWithDest(r, rels)
+				t.withDest.Inc()
+				r.Annotation = annotateWithDest(r, rels, t)
 			}
 		}
 	})
@@ -29,12 +67,14 @@ func annotateLastHops(g *Graph, rels RelationshipOracle, opts Options) {
 // annotateEmptyDest handles §5.1: the IR's interfaces were only seen in
 // Echo Replies (or the destination heuristic is ablated), so only the
 // origin-AS set is available.
-func annotateEmptyDest(r *Router, rels RelationshipOracle) asn.ASN {
+func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.ASN {
 	origins := r.OriginSet.Sorted()
 	switch len(origins) {
 	case 0:
+		t.emptyNoOrigin.Inc()
 		return asn.None
 	case 1:
+		t.emptySingleOrigin.Inc()
 		return origins[0]
 	}
 	// ASes in the set with a relationship to all other ASes in the set;
@@ -53,6 +93,7 @@ func annotateEmptyDest(r *Router, rels RelationshipOracle) asn.ASN {
 		}
 	}
 	if len(related) > 0 {
+		t.emptyRelated.Inc()
 		return rels.SmallestCone(related)
 	}
 	// An AS outside the set with a relationship to every member.
@@ -74,9 +115,11 @@ func annotateEmptyDest(r *Router, rels RelationshipOracle) asn.ASN {
 		}
 	}
 	if len(outside) > 0 {
+		t.emptyOutside.Inc()
 		return rels.SmallestCone(outside)
 	}
 	// Most interface AS mappings; tie → smallest customer cone.
+	t.emptyVote.Inc()
 	votes := make(asn.Counter)
 	for _, i := range r.Interfaces {
 		if i.Origin != asn.None {
@@ -96,7 +139,7 @@ func neighborSet(rels RelationshipOracle, a asn.ASN) asn.Set {
 }
 
 // annotateWithDest implements Algorithm 1 (§5.2).
-func annotateWithDest(r *Router, rels RelationshipOracle) asn.ASN {
+func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.ASN {
 	D := r.DestASes
 	O := r.OriginSet
 
@@ -105,9 +148,11 @@ func annotateWithDest(r *Router, rels RelationshipOracle) asn.ASN {
 	// (the AS using a reallocated prefix from the larger one).
 	overlap := O.Intersect(D)
 	if len(overlap) == 1 {
+		t.alg1Overlap.Inc()
 		return overlap[0]
 	}
 	if len(overlap) > 1 {
+		t.alg1Overlap.Inc()
 		return rels.SmallestCone(overlap)
 	}
 
@@ -124,6 +169,7 @@ func annotateWithDest(r *Router, rels RelationshipOracle) asn.ASN {
 		}
 	}
 	if len(drel) > 0 {
+		t.alg1DestRel.Inc()
 		best, bestCover, bestCone := asn.None, -1, -1
 		for _, d := range drel {
 			cover := 0
@@ -158,7 +204,9 @@ func annotateWithDest(r *Router, rels RelationshipOracle) asn.ASN {
 		}
 	}
 	if bridge.Len() == 1 {
+		t.alg1Bridge.Inc()
 		return bridge.Sorted()[0]
 	}
+	t.alg1Smallest.Inc()
 	return a
 }

@@ -3,10 +3,13 @@ package core
 import (
 	"hash/fnv"
 	"net/netip"
+	"sync"
+	"time"
 
 	"repro/internal/asn"
 	"repro/internal/ip2as"
 	"repro/internal/netutil"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -36,6 +39,11 @@ type Options struct {
 	DisableExceptions bool
 	// DisableHiddenAS ablates the §6.1.5 hidden-AS check.
 	DisableHiddenAS bool
+	// Recorder receives the run's telemetry: phase timings, graph and
+	// convergence metrics, per-heuristic decision counters, and
+	// per-worker shard timings. nil (the default) disables collection;
+	// the engine's annotations are identical either way.
+	Recorder *obs.Recorder
 	// DisableDestTieBreak ablates an extension to the §6.1.4 tie-break:
 	// before falling back to the smallest customer cone, a vote tie is
 	// broken toward the AS whose customer cone covers the most of the
@@ -75,6 +83,101 @@ func (c *cycleDetector) record(h uint64, iter int) (int, bool) {
 	return 0, false
 }
 
+// iterTally accumulates one refinement iteration's statistics. Each
+// worker shard fills a private tally with plain (unsynchronized)
+// increments and merges it into the iteration total once at shard end,
+// so the hot loop pays a handful of integer bumps per router — nothing
+// observable next to the voting maps it allocates anyway.
+type iterTally struct {
+	changedRouters, changedIfaces, votesCast int64
+
+	// Per-heuristic decision counts (§6.1.1–§6.1.3 and extensions):
+	// how often each Algorithm 3 branch, vote correction, or election
+	// special case decided a vote or a router this iteration.
+	heurOriginMatch int64 // Alg. 3 line 1: subsequent origin among link origins
+	heurIXP         int64 // Alg. 3 line 2: IXP address → largest-cone origin
+	heurUnannounced int64 // Alg. 3 lines 4–5: unannounced-chain propagation
+	heurThirdParty  int64 // Alg. 3 lines 6–8: third-party address detected
+	heurRealloc     int64 // §6.1.2: votes moved to a reallocation customer
+	heurException   int64 // §6.1.3: a voting exception decided the router
+	heurHiddenAS    int64 // §6.1.5: hidden bridge AS replaced the election
+	heurDestTie     int64 // destination-coverage tie-break decided a tie
+}
+
+func (t *iterTally) add(o *iterTally) {
+	t.changedRouters += o.changedRouters
+	t.changedIfaces += o.changedIfaces
+	t.votesCast += o.votesCast
+	t.heurOriginMatch += o.heurOriginMatch
+	t.heurIXP += o.heurIXP
+	t.heurUnannounced += o.heurUnannounced
+	t.heurThirdParty += o.heurThirdParty
+	t.heurRealloc += o.heurRealloc
+	t.heurException += o.heurException
+	t.heurHiddenAS += o.heurHiddenAS
+	t.heurDestTie += o.heurDestTie
+}
+
+// row renders the tally as one convergence-trace sample.
+func (t *iterTally) row(iter int) obs.Row {
+	return obs.Row{
+		"iteration":          int64(iter),
+		"routers_changed":    t.changedRouters,
+		"interfaces_changed": t.changedIfaces,
+		"votes_cast":         t.votesCast,
+		"heur_origin_match":  t.heurOriginMatch,
+		"heur_ixp":           t.heurIXP,
+		"heur_unannounced":   t.heurUnannounced,
+		"heur_third_party":   t.heurThirdParty,
+		"heur_reallocated":   t.heurRealloc,
+		"heur_exception":     t.heurException,
+		"heur_hidden_as":     t.heurHiddenAS,
+		"heur_dest_tiebreak": t.heurDestTie,
+	}
+}
+
+// refineCounters are the cumulative counter handles the refinement loop
+// flushes each iteration, fetched once so the loop never touches the
+// recorder's registry.
+type refineCounters struct {
+	routers, ifaces, votes                             *obs.Counter
+	originMatch, ixp, unannounced, thirdParty, realloc *obs.Counter
+	exception, hiddenAS, destTie                       *obs.Counter
+	routerShardNS, ifaceShardNS                        *obs.Histogram
+}
+
+func newRefineCounters(rec *obs.Recorder) refineCounters {
+	return refineCounters{
+		routers:       rec.Counter("refine.routers_changed"),
+		ifaces:        rec.Counter("refine.interfaces_changed"),
+		votes:         rec.Counter("refine.votes_cast"),
+		originMatch:   rec.Counter("refine.heur.origin_match"),
+		ixp:           rec.Counter("refine.heur.ixp"),
+		unannounced:   rec.Counter("refine.heur.unannounced"),
+		thirdParty:    rec.Counter("refine.heur.third_party"),
+		realloc:       rec.Counter("refine.heur.reallocated"),
+		exception:     rec.Counter("refine.heur.exception"),
+		hiddenAS:      rec.Counter("refine.heur.hidden_as"),
+		destTie:       rec.Counter("refine.heur.dest_tiebreak"),
+		routerShardNS: rec.Histogram("refine.router_shard_ns"),
+		ifaceShardNS:  rec.Histogram("refine.iface_shard_ns"),
+	}
+}
+
+func (c *refineCounters) flush(t *iterTally) {
+	c.routers.Add(t.changedRouters)
+	c.ifaces.Add(t.changedIfaces)
+	c.votes.Add(t.votesCast)
+	c.originMatch.Add(t.heurOriginMatch)
+	c.ixp.Add(t.heurIXP)
+	c.unannounced.Add(t.heurUnannounced)
+	c.thirdParty.Add(t.heurThirdParty)
+	c.realloc.Add(t.heurRealloc)
+	c.exception.Add(t.heurException)
+	c.hiddenAS.Add(t.heurHiddenAS)
+	c.destTie.Add(t.heurDestTie)
+}
+
 // Run executes phases 2 and 3 over a constructed graph: last-hop
 // annotation (§5) followed by the graph-refinement loop (§6), stopping
 // at a repeated annotation state or the iteration cap.
@@ -97,37 +200,102 @@ func (c *cycleDetector) record(h uint64, iter int) (int, bool) {
 // byte-identical results.
 func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
 	opts.setDefaults()
+	rec := opts.Recorder
+
+	lh := rec.Phase("lasthop")
 	annotateLastHops(g, rels, opts)
+	lh.Note("lasthop_irs", int64(g.Stats.LastHopIRs))
+	lh.End()
+
+	ph := rec.Phase("refine")
+	rec.Gauge("refine.workers").Set(int64(opts.Workers))
+	counters := newRefineCounters(rec)
+	trace := rec.Series("refine.iterations")
+	var routerTiming, ifaceTiming func(shard int, d time.Duration)
+	if rec.Enabled() {
+		routerTiming = func(_ int, d time.Duration) { counters.routerShardNS.Observe(d.Nanoseconds()) }
+		ifaceTiming = func(_ int, d time.Duration) { counters.ifaceShardNS.Observe(d.Nanoseconds()) }
+	}
 
 	cycles := newCycleDetector()
 	res := &Result{Graph: g}
+	var changedPerIter []int64 // oscillation diagnostics (one entry per iteration)
+	var mu sync.Mutex          // merges per-shard tallies into the iteration total
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		res.Iterations = iter
+		var it iterTally
 		shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
 			for _, r := range g.Routers[lo:hi] {
 				r.prevAnnotation = r.Annotation
 			}
 		})
-		shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
+		shard.ForShardsTimed(len(g.Routers), opts.Workers, func(_, lo, hi int) {
+			var local iterTally
 			for _, r := range g.Routers[lo:hi] {
 				if r.LastHop {
 					continue
 				}
-				r.Annotation = annotateRouter(r, rels, opts)
+				r.Annotation = annotateRouter(r, rels, opts, &local)
+				if r.Annotation != r.prevAnnotation {
+					local.changedRouters++
+				}
 			}
-		})
-		shard.For(len(g.sortedAddrs), opts.Workers, func(lo, hi int) {
+			if rec.Enabled() {
+				mu.Lock()
+				it.add(&local)
+				mu.Unlock()
+			}
+		}, routerTiming)
+		shard.ForShardsTimed(len(g.sortedAddrs), opts.Workers, func(_, lo, hi int) {
+			var changed int64
 			for _, addr := range g.sortedAddrs[lo:hi] {
-				annotateInterface(g.Interfaces[addr], rels)
+				i := g.Interfaces[addr]
+				prev := i.Annotation
+				annotateInterface(i, rels)
+				if i.Annotation != prev {
+					changed++
+				}
 			}
-		})
+			if rec.Enabled() {
+				mu.Lock()
+				it.changedIfaces += changed
+				mu.Unlock()
+			}
+		}, ifaceTiming)
+		if rec.Enabled() {
+			trace.Append(it.row(iter))
+			counters.flush(&it)
+			changedPerIter = append(changedPerIter, it.changedRouters)
+		}
 		if n, repeated := cycles.record(g.stateHash(), iter); repeated {
 			res.Converged = true
 			res.CycleLength = n
 			break
 		}
 	}
+	rec.Gauge("refine.iterations").Set(int64(res.Iterations))
+	rec.Gauge("refine.cycle_length").Set(int64(res.CycleLength))
+	rec.Gauge("refine.converged").Set(b2i(res.Converged))
+	ph.Note("iterations", int64(res.Iterations))
+	ph.End()
+	if res.CycleLength > 1 && rec.Enabled() {
+		// §6.3 stops on any repeated state, but a cycle longer than a
+		// fixed point means the loop oscillates between annotation
+		// states; surface which iterations kept flipping and how many
+		// routers each flipped (satellite diagnosability requirement).
+		first := res.Iterations - res.CycleLength + 1
+		rec.Warnf("refinement oscillates: state repeats with cycle length %d (iterations %d-%d); changed routers per iteration in the cycle: %v",
+			res.CycleLength, first, res.Iterations, changedPerIter[len(changedPerIter)-res.CycleLength:])
+	}
+	res.Report = rec.Report()
 	return res
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // selectLinks returns the IR's links of the highest available confidence
@@ -154,17 +322,18 @@ func selectLinks(r *Router) []*Link {
 // Algorithm 3 heuristics, reallocated-prefix correction, interface
 // votes, exception checks, the relationship-restricted election, and
 // the hidden-AS check.
-func annotateRouter(r *Router, rels RelationshipOracle, opts Options) asn.ASN {
+func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
 	votes := make(asn.Counter)
 	m := make(map[asn.ASN]asn.Set) // vote AS → link origin ASes backing it
 	linkVote := make(map[*Link]asn.ASN)
 
 	links := selectLinks(r)
 	for _, l := range links {
-		a := linkHeuristics(l, rels, opts)
+		a := linkHeuristics(l, rels, opts, t)
 		if a == asn.None {
 			continue
 		}
+		t.votesCast++
 		votes.Inc(a, 1)
 		s, ok := m[a]
 		if !ok {
@@ -176,18 +345,20 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options) asn.ASN {
 	}
 
 	if !opts.DisableRealloc {
-		fixReallocatedVotes(r, links, linkVote, votes, m, rels)
+		fixReallocatedVotes(r, links, linkVote, votes, m, rels, t)
 	}
 
 	// Alg. 2 line 9: each IR interface votes with its origin AS.
 	for _, i := range r.Interfaces {
 		if i.Origin != asn.None {
+			t.votesCast++
 			votes.Inc(i.Origin, 1)
 		}
 	}
 
 	if !opts.DisableExceptions {
 		if a, ok := exceptionCases(r, linkVote, votes, rels); ok {
+			t.heurException++
 			return a
 		}
 	}
@@ -216,23 +387,27 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options) asn.ASN {
 		}
 	}
 	if grew {
-		if w := electFrom(r, votes, restricted, rels, opts); w != asn.None {
+		if w := electFrom(r, votes, restricted, rels, opts, t); w != asn.None {
 			return w
 		}
 	}
 
 	// Alg. 2 lines 13–14: unrestricted election, then hidden-AS check.
 	top, _ := votes.Max()
-	a := breakTie(r, top, rels, opts)
+	a := breakTie(r, top, rels, opts, t)
 	if opts.DisableHiddenAS || a == asn.None {
 		return a
 	}
-	return hiddenAS(r, a, m[a], rels)
+	h := hiddenAS(r, a, m[a], rels)
+	if h != a {
+		t.heurHiddenAS++
+	}
+	return h
 }
 
 // electFrom picks the AS with the most votes among the allowed set.
 // asn.None when no allowed AS has votes.
-func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options) asn.ASN {
+func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
 	best := 0
 	for v, n := range votes {
 		if allowed.Has(v) && n > best {
@@ -248,14 +423,14 @@ func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipO
 			tied = append(tied, v)
 		}
 	}
-	return breakTie(r, tied, rels, opts)
+	return breakTie(r, tied, rels, opts, t)
 }
 
 // breakTie resolves a vote tie: first (unless ablated) toward the AS
 // whose customer cone covers the most of the IR's destination ASes,
 // then toward the smallest customer cone (§6.1.4: "the most likely
 // customer AS").
-func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options) asn.ASN {
+func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
 	if len(tied) <= 1 {
 		return rels.SmallestCone(tied)
 	}
@@ -280,6 +455,7 @@ func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options) 
 			}
 		}
 		if len(full) > 0 {
+			t.heurDestTie++
 			tied = full
 		} else if r.DestASes.Len() <= 10 {
 			// Small (edge) destination sets: a unique best-coverage
@@ -304,6 +480,7 @@ func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options) 
 				}
 			}
 			if len(best) == 1 {
+				t.heurDestTie++
 				return best[0]
 			}
 		}
@@ -314,18 +491,20 @@ func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options) 
 // linkHeuristics implements Algorithm 3 (§6.1.1): the vote contributed
 // by one link, with special cases for IXP addresses, unannounced
 // addresses, and third-party addresses.
-func linkHeuristics(l *Link, rels RelationshipOracle, opts Options) asn.ASN {
+func linkHeuristics(l *Link, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
 	j := l.To
 	origins := l.OriginSet()
 
 	// Line 1: subsequent origin already among the link's origins.
 	if j.Origin != asn.None && origins.Has(j.Origin) {
+		t.heurOriginMatch++
 		return j.Origin
 	}
 	// Line 2: IXP public peering address → the likely transit provider:
 	// the link origin AS with the largest customer cone (valley-free
 	// reasoning, §6.1.1).
 	if j.Kind == ip2as.IXP {
+		t.heurIXP++
 		return rels.LargestCone(origins.Sorted())
 	}
 	// The neighbour IR's annotation comes from the previous iteration's
@@ -335,6 +514,7 @@ func linkHeuristics(l *Link, rels RelationshipOracle, opts Options) asn.ASN {
 	// Lines 4–5: unannounced subsequent address → vote for its IR's
 	// annotation, which propagates across unannounced chains (Fig. 8).
 	if j.Origin == asn.None {
+		t.heurUnannounced++
 		return asj
 	}
 	// Lines 6–8: third-party test. The reply may have come from an
@@ -351,6 +531,7 @@ func linkHeuristics(l *Link, rels RelationshipOracle, opts Options) asn.ASN {
 			}
 		}
 		if bypass && !l.DestASes.Has(j.Origin) {
+			t.heurThirdParty++
 			return asj
 		}
 	}
@@ -365,7 +546,7 @@ func linkHeuristics(l *Link, rels RelationshipOracle, opts Options) asn.ASN {
 // reallocated prefix and their votes move from the provider to the
 // customer.
 func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
-	votes asn.Counter, m map[asn.ASN]asn.Set, rels RelationshipOracle) {
+	votes asn.Counter, m map[asn.ASN]asn.Set, rels RelationshipOracle, t *iterTally) {
 
 	var cands []*Link
 	for _, l := range links {
@@ -412,6 +593,7 @@ func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
 			delete(votes, old)
 		}
 		votes.Inc(annot, 1)
+		t.heurRealloc++
 		linkVote[l] = annot
 		s, ok := m[annot]
 		if !ok {

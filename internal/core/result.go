@@ -7,6 +7,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/asn"
 	"repro/internal/ip2as"
+	"repro/internal/obs"
 	"repro/internal/traceroute"
 )
 
@@ -24,6 +25,11 @@ type Result struct {
 	// point, >1 that it oscillated between CycleLength states (§6.3
 	// stops on either). 0 when the iteration cap ended the loop.
 	CycleLength int
+	// Report is the telemetry snapshot taken when the run finished:
+	// phase timings, pipeline counters, and the per-iteration
+	// convergence trace. Always non-nil; empty (wall clock and peak RSS
+	// only) when no Recorder was attached via Options.
+	Report *obs.Report
 }
 
 // OperatorOf returns the AS inferred to operate the router owning addr,
@@ -127,13 +133,17 @@ func Infer(traces []*traceroute.Trace, resolver *ip2as.Resolver,
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) *Result {
 
 	opts.setDefaults()
+	rec := opts.Recorder
+	phase := rec.Phase("construct-graph")
 	b := NewBuilder(resolver, aliases)
 	b.Workers = opts.Workers
+	b.Rec = rec
 	b.PreResolve(distinctAddrs(traces))
 	for _, t := range traces {
 		b.AddTrace(t)
 	}
 	g := b.Finish(rels)
+	phase.End()
 	return Run(g, rels, opts)
 }
 

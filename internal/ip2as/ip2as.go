@@ -128,10 +128,21 @@ func (c Coverage) Fraction() float64 {
 
 // Measure resolves every address and tallies coverage.
 func (r *Resolver) Measure(addrs []netip.Addr) Coverage {
+	results := make([]Result, len(addrs))
+	for i, a := range addrs {
+		results[i] = r.Lookup(a)
+	}
+	return MeasureResults(results)
+}
+
+// MeasureResults tallies coverage over already-resolved results, so
+// callers that batch-resolved (e.g. the graph builder's PreResolve) can
+// report coverage without paying for a second trie walk per address.
+func MeasureResults(results []Result) Coverage {
 	var c Coverage
-	for _, a := range addrs {
+	for _, res := range results {
 		c.Total++
-		switch r.Lookup(a).Kind {
+		switch res.Kind {
 		case BGP:
 			c.ByBGP++
 		case RIR:

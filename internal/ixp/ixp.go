@@ -123,24 +123,41 @@ func (s *Set) ReadCSV(r io.Reader) error {
 	return nil
 }
 
+// ReadStats tallies what a prefix-list scan consumed versus skipped.
+type ReadStats struct {
+	// Prefixes is the number of prefixes merged into the set.
+	Prefixes int
+	// SkippedLines counts blank and comment lines.
+	SkippedLines int
+}
+
 // ReadList merges a plain newline-separated prefix list (Euro-IX style)
 // into the set. Blank lines and '#' comments are skipped.
 func (s *Set) ReadList(r io.Reader) error {
+	_, err := s.ReadListStats(r)
+	return err
+}
+
+// ReadListStats is ReadList returning skip tallies alongside the merge.
+func (s *Set) ReadListStats(r io.Reader) (ReadStats, error) {
+	var stats ReadStats
 	sc := bufio.NewScanner(r)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			stats.SkippedLines++
 			continue
 		}
 		p, err := netip.ParsePrefix(line)
 		if err != nil {
-			return fmt.Errorf("ixp: list line %d: %w", lineno, err)
+			return stats, fmt.Errorf("ixp: list line %d: %w", lineno, err)
 		}
 		s.Add(p)
+		stats.Prefixes++
 	}
-	return sc.Err()
+	return stats, sc.Err()
 }
 
 // WriteList writes the set as a plain prefix list.

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+)
+
+// Handler returns the debug HTTP handler for rec:
+//
+//	/debug/vars     expvar-style JSON: the live Report plus cmdline
+//	                and runtime.MemStats
+//	/debug/report   the live Report alone (what -report-json writes)
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//
+// Every request snapshots the recorder, so the endpoints are safe to
+// poll while a run is in flight.
+func Handler(rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		writeJSON(w, map[string]any{
+			"cmdline":  os.Args,
+			"memstats": ms,
+			"report":   rec.Report(),
+		})
+	})
+	mux.HandleFunc("/debug/report", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, rec.Report())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Serve starts the debug server on addr (e.g. "localhost:6060" or
+// ":0") in a background goroutine and returns the bound address. The
+// server lives for the remainder of the process; callers that need
+// shutdown control should mount Handler themselves.
+func Serve(addr string, rec *Recorder) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(rec)}
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

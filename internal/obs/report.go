@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is a JSON-marshalable snapshot of everything a Recorder saw:
+// the phase tree, every metric, the convergence series, and process
+// vitals (wall clock, peak RSS). It round-trips through encoding/json.
+type Report struct {
+	// StartTime is when the Recorder was created.
+	StartTime time.Time `json:"start_time"`
+	// WallNS is the wall-clock time from Recorder creation to the
+	// snapshot, in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// PeakRSSBytes is the process's high-water resident set size (0
+	// where the platform does not expose it).
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+
+	Phases     []PhaseReport              `json:"phases,omitempty"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+	Gauges     map[string]int64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramReport `json:"histograms,omitempty"`
+	Series     map[string][]Row           `json:"series,omitempty"`
+	Warnings   []string                   `json:"warnings,omitempty"`
+}
+
+// PhaseReport is one node of the phase tree.
+type PhaseReport struct {
+	Name string `json:"name"`
+	// DurationNS is the phase's wall-clock duration in nanoseconds
+	// (measured to the snapshot for a still-open phase).
+	DurationNS int64            `json:"duration_ns"`
+	Notes      map[string]int64 `json:"notes,omitempty"`
+	Children   []PhaseReport    `json:"children,omitempty"`
+}
+
+// Duration returns the phase duration as a time.Duration.
+func (p PhaseReport) Duration() time.Duration { return time.Duration(p.DurationNS) }
+
+// HistogramReport summarizes one histogram: totals plus the non-empty
+// power-of-two buckets and bucket-resolution quantile estimates.
+type HistogramReport struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	// Buckets maps a bucket's upper bound (exclusive, a power of two)
+	// to its observation count; only non-empty buckets appear.
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// P50/P90/P99 are upper-bound estimates at bucket resolution.
+	P50 int64 `json:"p50,omitempty"`
+	P90 int64 `json:"p90,omitempty"`
+	P99 int64 `json:"p99,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h HistogramReport) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Report snapshots the recorder. Nil-safe: a nil Recorder yields an
+// empty (but valid) report.
+func (r *Recorder) Report() *Report {
+	rep := &Report{PeakRSSBytes: PeakRSSBytes()}
+	if r == nil {
+		return rep
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep.StartTime = r.start
+	rep.WallNS = now.Sub(r.start).Nanoseconds()
+	if len(r.counters) > 0 {
+		rep.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			rep.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		rep.Gauges = make(map[string]int64, len(r.gauges))
+		for k, g := range r.gauges {
+			rep.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		rep.Histograms = make(map[string]HistogramReport, len(r.hists))
+		for k, h := range r.hists {
+			rep.Histograms[k] = snapshotHistogram(h)
+		}
+	}
+	if len(r.series) > 0 {
+		rep.Series = make(map[string][]Row, len(r.series))
+		for k, s := range r.series {
+			rep.Series[k] = s.Rows()
+		}
+	}
+	if len(r.warnings) > 0 {
+		rep.Warnings = append([]string(nil), r.warnings...)
+	}
+	for _, s := range r.roots {
+		rep.Phases = append(rep.Phases, snapshotSpan(s, now))
+	}
+	return rep
+}
+
+func snapshotSpan(s *Span, now time.Time) PhaseReport {
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	p := PhaseReport{Name: s.name, DurationNS: end.Sub(s.start).Nanoseconds()}
+	if len(s.notes) > 0 {
+		p.Notes = make(map[string]int64, len(s.notes))
+		for k, v := range s.notes {
+			p.Notes[k] = v
+		}
+	}
+	for _, c := range s.children {
+		p.Children = append(p.Children, snapshotSpan(c, now))
+	}
+	return p
+}
+
+func snapshotHistogram(h *Histogram) HistogramReport {
+	out := HistogramReport{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	var counts [histBuckets]int64
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			counts[i] = n
+			if out.Buckets == nil {
+				out.Buckets = make(map[string]int64)
+			}
+			out.Buckets[fmt.Sprintf("%d", upperBound(i))] = n
+		}
+	}
+	out.P50 = quantile(counts[:], out.Count, 0.50)
+	out.P90 = quantile(counts[:], out.Count, 0.90)
+	out.P99 = quantile(counts[:], out.Count, 0.99)
+	return out
+}
+
+// upperBound returns the exclusive upper bound of bucket i.
+func upperBound(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	return int64(1) << i
+}
+
+// quantile returns the upper bound of the bucket where the cumulative
+// count crosses q — an estimate at power-of-two resolution.
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range counts {
+		cum += n
+		if cum >= target {
+			return upperBound(i)
+		}
+	}
+	return upperBound(len(counts) - 1)
+}
+
+// WriteSummary renders the human-readable run summary: process vitals,
+// the phase table, shard-timing histograms, the convergence trace, and
+// any warnings. This is what the CLIs print on stderr.
+func WriteSummary(w io.Writer, rep *Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Fprintf(w, "== run report ==\n")
+	fmt.Fprintf(w, "wall clock %s", FormatDuration(rep.WallNS))
+	if rep.PeakRSSBytes > 0 {
+		fmt.Fprintf(w, "   peak rss %s", FormatBytes(rep.PeakRSSBytes))
+	}
+	fmt.Fprintln(w)
+	if len(rep.Phases) > 0 {
+		fmt.Fprintf(w, "\n%-42s %12s  %s\n", "phase", "duration", "notes")
+		for _, p := range rep.Phases {
+			writePhase(w, p, 0)
+		}
+	}
+	for _, name := range sortedKeys(rep.Histograms) {
+		h := rep.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s: n=%d mean=%s p50<=%s p99<=%s max=%s\n",
+			name, h.Count,
+			time.Duration(h.Mean()), time.Duration(h.P50),
+			time.Duration(h.P99), time.Duration(h.Max))
+	}
+	if trace, ok := rep.Series["refine.iterations"]; ok && len(trace) > 0 {
+		fmt.Fprintf(w, "\nconvergence trace:\n")
+		fmt.Fprintf(w, "  %5s %16s %16s %12s\n", "iter", "routers-changed", "ifaces-changed", "votes")
+		for _, row := range trace {
+			fmt.Fprintf(w, "  %5d %16d %16d %12d\n",
+				row["iteration"], row["routers_changed"], row["interfaces_changed"], row["votes_cast"])
+		}
+	}
+	if len(rep.Warnings) > 0 {
+		fmt.Fprintf(w, "\nwarnings:\n")
+		for _, msg := range rep.Warnings {
+			fmt.Fprintf(w, "  %s\n", msg)
+		}
+	}
+}
+
+func writePhase(w io.Writer, p PhaseReport, depth int) {
+	name := strings.Repeat("  ", depth) + p.Name
+	fmt.Fprintf(w, "%-42s %12s  %s\n", name,
+		p.Duration().Round(time.Microsecond), formatNotes(p.Notes))
+	for _, c := range p.Children {
+		writePhase(w, c, depth+1)
+	}
+}
+
+func formatNotes(notes map[string]int64) string {
+	if len(notes) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(notes))
+	for _, k := range sortedKeys(notes) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, notes[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatDuration renders a nanosecond count rounded to milliseconds,
+// for one-line vitals footers.
+func FormatDuration(ns int64) string {
+	return time.Duration(ns).Round(time.Millisecond).String()
+}
+
+// FormatBytes renders a byte count in binary units (KiB, MiB, …).
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,14 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// PeakRSSBytes returns the process's high-water resident set size.
+func PeakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024 // ru_maxrss is in KiB on Linux
+}

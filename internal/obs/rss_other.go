@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// PeakRSSBytes returns 0 on platforms where the high-water resident
+// set size is not wired up.
+func PeakRSSBytes() int64 { return 0 }

@@ -133,12 +133,31 @@ func Read(r io.Reader) (*Delegations, error) {
 	return d, nil
 }
 
+// ReadStats tallies what a delegation scan consumed versus skipped.
+type ReadStats struct {
+	// Records is the number of parsed record lines of any type.
+	Records int
+	// AddrRecords is the number of ipv4/ipv6 records indexed.
+	AddrRecords int
+	// UnmatchedOpaque counts address records skipped because their
+	// opaque-id had no matching asn record (they carry no AS identity).
+	UnmatchedOpaque int
+}
+
 // ReadInto merges one extended delegation file into d.
 func ReadInto(d *Delegations, r io.Reader) error {
+	_, err := ReadIntoStats(d, r)
+	return err
+}
+
+// ReadIntoStats is ReadInto returning skip tallies alongside the merge.
+func ReadIntoStats(d *Delegations, r io.Reader) (ReadStats, error) {
+	var stats ReadStats
 	recs, err := ParseRecords(r)
 	if err != nil {
-		return err
+		return stats, err
 	}
+	stats.Records = len(recs)
 	// First pass: opaque-id → ASN. An asn record with Value > 1 covers a
 	// consecutive block; the opaque-id maps to the first (deterministic).
 	byOpaque := make(map[string]asn.ASN)
@@ -148,7 +167,7 @@ func ReadInto(d *Delegations, r io.Reader) error {
 		}
 		a, err := asn.Parse(rec.Start)
 		if err != nil {
-			return fmt.Errorf("rir: asn record %q: %w", rec.Start, err)
+			return stats, fmt.Errorf("rir: asn record %q: %w", rec.Start, err)
 		}
 		if _, dup := byOpaque[rec.OpaqueID]; !dup {
 			byOpaque[rec.OpaqueID] = a
@@ -159,37 +178,41 @@ func ReadInto(d *Delegations, r io.Reader) error {
 		case "ipv4":
 			a, ok := byOpaque[rec.OpaqueID]
 			if !ok || rec.OpaqueID == "" {
+				stats.UnmatchedOpaque++
 				continue
 			}
 			start, err := netip.ParseAddr(rec.Start)
 			if err != nil {
-				return fmt.Errorf("rir: ipv4 record start %q: %w", rec.Start, err)
+				return stats, fmt.Errorf("rir: ipv4 record start %q: %w", rec.Start, err)
 			}
 			prefixes, err := netutil.RangeToPrefixes(start, rec.Value)
 			if err != nil {
-				return fmt.Errorf("rir: ipv4 record %q/%d: %w", rec.Start, rec.Value, err)
+				return stats, fmt.Errorf("rir: ipv4 record %q/%d: %w", rec.Start, rec.Value, err)
 			}
 			for _, p := range prefixes {
 				d.trie.Insert(p, a)
 			}
 			d.numRecords++
+			stats.AddrRecords++
 		case "ipv6":
 			a, ok := byOpaque[rec.OpaqueID]
 			if !ok || rec.OpaqueID == "" {
+				stats.UnmatchedOpaque++
 				continue
 			}
 			start, err := netip.ParseAddr(rec.Start)
 			if err != nil {
-				return fmt.Errorf("rir: ipv6 record start %q: %w", rec.Start, err)
+				return stats, fmt.Errorf("rir: ipv6 record start %q: %w", rec.Start, err)
 			}
 			if rec.Value > 128 {
-				return fmt.Errorf("rir: ipv6 record %q: bad prefix length %d", rec.Start, rec.Value)
+				return stats, fmt.Errorf("rir: ipv6 record %q: bad prefix length %d", rec.Start, rec.Value)
 			}
 			d.trie.Insert(netip.PrefixFrom(start, int(rec.Value)).Masked(), a)
 			d.numRecords++
+			stats.AddrRecords++
 		}
 	}
-	return nil
+	return stats, nil
 }
 
 // WriteRecords writes records in extended delegation format, preceded by

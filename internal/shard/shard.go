@@ -11,6 +11,7 @@ package shard
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Resolve normalizes a worker-count option: values <= 0 mean "use every
@@ -56,6 +57,24 @@ func Bounds(n, k int) [][2]int {
 // range; reads of shared state must be of data no shard writes.
 func For(n, workers int, fn func(lo, hi int)) {
 	ForShards(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForShardsTimed is ForShards with per-shard wall-clock timing: after a
+// shard's fn returns, timing(shard, elapsed) is invoked on that shard's
+// goroutine. The telemetry layer uses it to expose worker utilization
+// (shard-duration spread reveals load imbalance) without the engine
+// reading clocks when no recorder is attached — pass a nil timing to
+// skip the clock reads entirely.
+func ForShardsTimed(n, workers int, fn func(shard, lo, hi int), timing func(shard int, d time.Duration)) {
+	if timing == nil {
+		ForShards(n, workers, fn)
+		return
+	}
+	ForShards(n, workers, func(s, lo, hi int) {
+		start := time.Now()
+		fn(s, lo, hi)
+		timing(s, time.Since(start))
+	})
 }
 
 // ForShards is For with the shard index passed through, so callers can

@@ -68,6 +68,19 @@ func (jw *JSONLWriter) Write(t *Trace) error {
 // Flush flushes buffered output.
 func (jw *JSONLWriter) Flush() error { return jw.bw.Flush() }
 
+// ReadStats tallies what a JSONL scan consumed versus skipped, feeding
+// the pipeline's load.* telemetry counters.
+type ReadStats struct {
+	// Traces is the number of traces delivered to the callback.
+	Traces int
+	// SkippedRecords counts records whose "type" was not "trace"
+	// (scamper cycle markers and other stream bookkeeping).
+	SkippedRecords int
+	// DroppedHops counts hops discarded because their ICMP reply type
+	// is outside the three classes the heuristics consume.
+	DroppedHops int
+}
+
 // ReadJSONL streams traces from JSON-lines input, invoking fn for each.
 // fn returning an error aborts the scan with that error.
 //
@@ -78,6 +91,14 @@ func (jw *JSONLWriter) Flush() error { return jw.bw.Flush() }
 // Unreachable} are dropped (bdrmapIT's heuristics only consume those
 // three).
 func ReadJSONL(r io.Reader, fn func(*Trace) error) error {
+	_, err := ReadJSONLStats(r, fn)
+	return err
+}
+
+// ReadJSONLStats is ReadJSONL returning skip/drop tallies alongside the
+// scan result.
+func ReadJSONLStats(r io.Reader, fn func(*Trace) error) (ReadStats, error) {
+	var stats ReadStats
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	lineno := 0
@@ -89,26 +110,28 @@ func ReadJSONL(r io.Reader, fn func(*Trace) error) error {
 		}
 		var wire jsonTrace
 		if err := json.Unmarshal(line, &wire); err != nil {
-			return fmt.Errorf("traceroute: jsonl line %d: %w", lineno, err)
+			return stats, fmt.Errorf("traceroute: jsonl line %d: %w", lineno, err)
 		}
 		if wire.Type != "" && wire.Type != "trace" {
+			stats.SkippedRecords++
 			continue // scamper cycle-start / cycle-stop records
 		}
-		t, err := wire.toTrace()
+		t, err := wire.toTrace(&stats)
 		if err != nil {
-			return fmt.Errorf("traceroute: jsonl line %d: %w", lineno, err)
+			return stats, fmt.Errorf("traceroute: jsonl line %d: %w", lineno, err)
 		}
+		stats.Traces++
 		if err := fn(t); err != nil {
-			return err
+			return stats, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("traceroute: jsonl read: %w", err)
+		return stats, fmt.Errorf("traceroute: jsonl read: %w", err)
 	}
-	return nil
+	return stats, nil
 }
 
-func (wire jsonTrace) toTrace() (*Trace, error) {
+func (wire jsonTrace) toTrace(stats *ReadStats) (*Trace, error) {
 	dst, err := netip.ParseAddr(wire.Dst)
 	if err != nil {
 		return nil, fmt.Errorf("dst: %w", err)
@@ -124,6 +147,7 @@ func (wire jsonTrace) toTrace() (*Trace, error) {
 	for i, h := range wire.Hops {
 		rt, err := ReplyTypeFromICMP(h.ICMPType)
 		if err != nil {
+			stats.DroppedHops++
 			continue // a reply class the heuristics do not consume
 		}
 		addr, err := netip.ParseAddr(h.Addr)

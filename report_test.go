@@ -1,0 +1,75 @@
+package bdrmapit
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// TestReportSeededSimnet runs the full inference over the seeded small
+// simnet and checks the acceptance contract of the telemetry layer: the
+// report survives a JSON round trip, every pipeline phase carries a
+// non-zero duration, and at least one §6.1 heuristic counter fired.
+func TestReportSeededSimnet(t *testing.T) {
+	ds, err := eval.BuildDataset(topo.SmallConfig(2018), 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	res := ds.RunBdrmapIT(nil, core.Options{Recorder: rec})
+	if !res.Converged {
+		t.Fatal("seeded simnet run did not converge")
+	}
+
+	data, err := json.Marshal(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	durations := map[string]int64{}
+	var walk func(ps []obs.PhaseReport)
+	walk = func(ps []obs.PhaseReport) {
+		for _, p := range ps {
+			durations[p.Name] = p.DurationNS
+			walk(p.Children)
+		}
+	}
+	walk(rep.Phases)
+	for _, phase := range []string{"construct-graph", "resolve", "finish-graph", "lasthop", "refine"} {
+		if durations[phase] <= 0 {
+			t.Errorf("phase %q duration = %d ns, want > 0", phase, durations[phase])
+		}
+	}
+
+	heuristics := []string{
+		"refine.heur.origin_match", "refine.heur.ixp", "refine.heur.unannounced",
+		"refine.heur.third_party", "refine.heur.reallocated", "refine.heur.exception",
+		"refine.heur.hidden_as", "refine.heur.dest_tiebreak",
+	}
+	fired := false
+	for _, h := range heuristics {
+		if rep.Counters[h] > 0 {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Errorf("no §6.1 heuristic counter fired; counters: %v", rep.Counters)
+	}
+
+	if len(rep.Series["refine.iterations"]) != res.Iterations {
+		t.Errorf("convergence trace rows = %d, want %d",
+			len(rep.Series["refine.iterations"]), res.Iterations)
+	}
+	if rep.Counters["graph.traces"] == 0 || rep.Counters["resolve.addrs"] == 0 {
+		t.Errorf("pipeline counters missing: %v", rep.Counters)
+	}
+}
