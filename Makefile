@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race bench smoke profile
+.PHONY: ci vet lint lint-static build test race bench smoke profile
 
-ci: vet lint build test race
+ci: vet lint lint-static build test race
 
 vet:
 	$(GO) vet ./...
@@ -14,16 +14,25 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 
+# Project-specific invariants (internal/lint): deterministic map
+# iteration, a clock-free refinement core, nil-safe telemetry methods,
+# the layering DAG, and audited error returns. Exits non-zero listing
+# file:line: check: message for every violation.
+lint-static:
+	$(GO) run ./cmd/bdrmapitlint ./...
+
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order to flush ordering-dependent tests —
+# the dynamic counterpart of the maporder static check.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
-# The parallel engine's concurrency surface: the refinement loop, the
-# read-only tries, the sharding substrate, and the cone cache.
+# The full concurrency surface under the race detector; the parallel
+# refinement engine makes every package a potential concurrent caller.
 race:
-	$(GO) test -race ./internal/core/... ./internal/iptrie/... ./internal/shard/... ./internal/asrel/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -short -bench 'BenchmarkRefineWorkers|BenchmarkInferenceWorkers|BenchmarkRefineRecorder' -benchmem .

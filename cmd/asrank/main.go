@@ -47,7 +47,9 @@ func main() {
 	} else {
 		routes, err = bgp.ReadRoutes(f)
 	}
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := pfx2as.Write(pf, pfx2as.FromRoutes(routes)); err != nil {
-			pf.Close()
+			_ = pf.Close() // the write error is the one worth reporting
 			log.Fatal(err)
 		}
 		if err := pf.Close(); err != nil {
@@ -105,7 +107,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := g.Write(of); err != nil {
-			of.Close()
+			_ = of.Close() // the write error is the one worth reporting
 			log.Fatal(err)
 		}
 		if err := of.Close(); err != nil {

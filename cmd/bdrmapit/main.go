@@ -133,7 +133,9 @@ func main() {
 		}
 		data = append(data, '\n')
 		if *repJSON == "-" {
-			os.Stdout.Write(data)
+			if _, err := os.Stdout.Write(data); err != nil {
+				log.Fatal(err)
+			}
 		} else if err := os.WriteFile(*repJSON, data, 0o644); err != nil {
 			log.Fatal(err)
 		}
@@ -148,11 +150,11 @@ func writeTo(path string, fill func(io.Writer) error) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := fill(bw); err != nil {
-		f.Close()
+		_ = f.Close() // the fill error is the one worth reporting
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // the flush error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -131,7 +131,9 @@ func main() {
 		}
 		data = append(data, '\n')
 		if *repJSON == "-" {
-			os.Stdout.Write(data)
+			if _, err := os.Stdout.Write(data); err != nil {
+				log.Fatal(err)
+			}
 		} else if err := os.WriteFile(*repJSON, data, 0o644); err != nil {
 			log.Fatal(err)
 		}
@@ -321,5 +323,5 @@ func printAblations(ds *eval.Dataset) {
 		rows = append(rows, []string{r.Name, pct(r.Accuracy), strconv.Itoa(r.Links)})
 	}
 	fmt.Print(eval.FormatTable([]string{"configuration", "accuracy", "links"}, rows))
-	os.Stdout.Sync()
+	_ = os.Stdout.Sync() // Sync on a pipe returns EINVAL; deliberately ignored
 }

@@ -83,7 +83,9 @@ func main() {
 		} else {
 			err = traceroute.ReadJSONL(f, visit)
 		}
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -122,7 +124,9 @@ func main() {
 		} else {
 			routes, err = bgp.ReadRoutes(f)
 		}
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -97,6 +97,7 @@ type Link struct {
 // immediately prior to To, sorted. Unannounced origins are omitted.
 func (l *Link) OriginSet() asn.Set {
 	s := asn.NewSet()
+	//lint:ignore maporder set insertion commutes; the set is only read via sorted/lookup accessors
 	for _, o := range l.Prev {
 		if o != asn.None {
 			s.Add(o)
@@ -405,6 +406,7 @@ func (b *Builder) Finish(rels RelationshipOracle) *Graph {
 		routerSet[i.Router] = true
 	}
 	g.Routers = make([]*Router, 0, len(routerSet))
+	//lint:ignore maporder collected in arbitrary order, then sorted by smallest interface address below
 	for r := range routerSet {
 		g.Routers = append(g.Routers, r)
 	}
@@ -454,6 +456,7 @@ func (b *Builder) Finish(rels RelationshipOracle) *Graph {
 			} else {
 				st.IRsWithLinks++
 				hasN, hasE := false, false
+				//lint:ignore maporder per-label counter bumps and boolean flags commute
 				for _, l := range r.Links {
 					switch l.Label {
 					case LabelNexthop:

@@ -99,6 +99,7 @@ func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.
 	// An AS outside the set with a relationship to every member.
 	var outside []asn.ASN
 	cand := neighborSet(rels, origins[0])
+	//lint:ignore maporder outside's element order varies but SmallestCone below reduces it by the (cone size, ASN) total order
 	for a := range cand {
 		if r.OriginSet.Has(a) {
 			continue
@@ -160,6 +161,7 @@ func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.A
 	// pick the one whose customer cone covers the most destinations
 	// (the inferred transit provider for the others).
 	var drel []asn.ASN
+	//lint:ignore maporder drel's element order varies but the selection below is a (coverage, cone size, ASN) total-order reduction
 	for d := range D {
 		for o := range O {
 			if rels.HasRelationship(d, o) {
@@ -195,6 +197,7 @@ func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.A
 	// Look for a bridge AS: a provider of a that is also a customer of
 	// some origin AS. Exactly one such AS → use it.
 	bridge := asn.NewSet()
+	//lint:ignore maporder set insertion commutes; bridge is only used via Len and Sorted
 	for p := range rels.Providers(a) {
 		for o := range O {
 			if rels.IsProvider(o, p) {

@@ -374,6 +374,7 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 	// subsequent ASes with a relationship to an origin on their links.
 	restricted := r.OriginSet.Clone()
 	grew := false
+	//lint:ignore maporder set insertion and a boolean flag; neither depends on which vote AS is visited first
 	for v := range votes {
 		if r.OriginSet.Has(v) {
 			continue
@@ -409,6 +410,7 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 // asn.None when no allowed AS has votes.
 func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
 	best := 0
+	//lint:ignore maporder pure max reduction; every visit order yields the same maximum
 	for v, n := range votes {
 		if allowed.Has(v) && n > best {
 			best = n
@@ -418,6 +420,7 @@ func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipO
 		return asn.None
 	}
 	var tied []asn.ASN
+	//lint:ignore maporder tied's element order varies but its contents do not, and breakTie reduces it by total orders only
 	for v, n := range votes {
 		if allowed.Has(v) && n == best {
 			tied = append(tied, v)
@@ -611,6 +614,7 @@ func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
 	rels RelationshipOracle) (asn.ASN, bool) {
 
 	subs := asn.NewSet()
+	//lint:ignore maporder set insertion commutes; subs is only read via Len, Has, and Sorted
 	for _, v := range linkVote {
 		if v != asn.None {
 			subs.Add(v)
@@ -639,10 +643,7 @@ func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
 		origin := r.OriginSet.Sorted()[0]
 		all := true
 		for s := range subs {
-			if s == origin {
-				continue
-			}
-			if !rels.IsPeer(origin, s) && !rels.IsProvider(s, origin) {
+			if s != origin && !rels.IsPeer(origin, s) && !rels.IsProvider(s, origin) {
 				all = false
 				break
 			}
@@ -655,10 +656,7 @@ func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
 		s := subs.Sorted()[0]
 		all := true
 		for o := range r.OriginSet {
-			if o == s {
-				continue
-			}
-			if !rels.IsPeer(s, o) && !rels.IsProvider(s, o) {
+			if o != s && !rels.IsPeer(s, o) && !rels.IsProvider(s, o) {
 				all = false
 				break
 			}
@@ -684,6 +682,7 @@ func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOra
 		}
 	}
 	bridges := asn.NewSet()
+	//lint:ignore maporder set insertion commutes; bridges is only read via Len and Sorted
 	for p := range rels.Providers(selected) {
 		for o := range backing {
 			if rels.IsProvider(o, p) {
@@ -695,6 +694,7 @@ func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOra
 	if bridges.Len() == 0 {
 		// Fall back to the IR origin set when the links carried no
 		// origins (e.g. all unannounced).
+		//lint:ignore maporder set insertion commutes; bridges is only read via Len and Sorted
 		for p := range rels.Providers(selected) {
 			for o := range r.OriginSet {
 				if rels.IsProvider(o, p) {

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Erraudit flags silently dropped error returns in the packages where a
+// swallowed error corrupts a run without failing it: the loaders (a
+// half-read input file becomes a silently smaller topology) and the cmd
+// mains (a failed report write exits 0). A call used as a bare statement
+// whose result set includes an error is a finding; explicitly assigning
+// to `_` is a visible decision and is left alone, as are fmt's printing
+// functions and writers that are documented never to fail
+// (strings.Builder, bytes.Buffer).
+var Erraudit = &Analyzer{
+	Name: "erraudit",
+	Doc:  "loaders and cmd mains must not silently drop error returns",
+	Applies: func(path string) bool {
+		return pathHasSegment(path, "cmd") || anySegment(path, loaderSegments...)
+	},
+	Run: runErraudit,
+}
+
+// errauditExemptRecv are receiver types whose methods never return a
+// meaningful error.
+var errauditExemptRecv = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
+func runErraudit(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !returnsError(p, call) || exemptCall(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "unchecked error returned by %s", exprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of call has type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCall reports whether the callee is on the never-fails allowlist.
+func exemptCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return errauditExemptRecv[recv.Type().String()]
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}

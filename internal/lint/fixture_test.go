@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixtures' expected.txt golden files")
+
+// checkFixture runs one analyzer over the fixture package in
+// testdata/src/<dir> (type-checked under the synthetic import path
+// importPath, so scoping rules see realistic paths) and compares the
+// findings against the golden file testdata/src/<dir>/expected.txt.
+func checkFixture(t *testing.T, check, dir, importPath string) {
+	t.Helper()
+	fixDir := filepath.Join("testdata", "src", dir)
+	pkg, err := lint.LoadDir(fixDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixDir, err)
+	}
+	analyzers, err := lint.Select(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, d := range lint.Run([]*lint.Package{pkg}, analyzers) {
+		lines = append(lines, fmt.Sprintf("%s:%d: %s: %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Check, d.Message))
+	}
+	got := strings.Join(lines, "\n")
+	if len(lines) > 0 {
+		got += "\n"
+	}
+
+	golden := filepath.Join(fixDir, "expected.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run %s -update): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", fixDir, got, want)
+	}
+}
+
+func TestMaporderFixture(t *testing.T) {
+	checkFixture(t, "maporder", "maporder/internal/core", "fixture/internal/core")
+}
+
+func TestMaporderOutOfScope(t *testing.T) {
+	checkFixture(t, "maporder", "maporder/otherpkg", "fixture/otherpkg")
+}
+
+func TestNoclockFixture(t *testing.T) {
+	checkFixture(t, "noclock", "noclock/internal/core", "fixture/internal/core")
+}
+
+func TestNilrecorderFixture(t *testing.T) {
+	checkFixture(t, "nilrecorder", "nilrecorder/internal/obs", "fixture/internal/obs")
+}
+
+func TestLayeringCoreFixture(t *testing.T) {
+	checkFixture(t, "layering", "layering/internal/core", "fixture/internal/core")
+}
+
+func TestLayeringObsFixture(t *testing.T) {
+	checkFixture(t, "layering", "layering/internal/obs", "fixture/internal/obs")
+}
+
+func TestErrauditFixture(t *testing.T) {
+	checkFixture(t, "erraudit", "erraudit/cmd/tool", "fixture/cmd/tool")
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// formatLoaderSegments are pure input-format packages: they exist to
+// read external data files and must stay upstream of the inference core
+// in the import DAG.
+var formatLoaderSegments = []string{
+	"internal/collect", "internal/itdk", "internal/mrt",
+	"internal/rir", "internal/bgp", "internal/ixp", "internal/pfx2as",
+}
+
+// loaderSegments widens formatLoaderSegments with the packages that mix
+// parsing and the data model the engine consumes (traceroute hops, alias
+// sets). The core is allowed to import these for their types, but their
+// parsing paths still fall under the erraudit dropped-error rule.
+var loaderSegments = append([]string{
+	"internal/traceroute", "internal/alias",
+}, formatLoaderSegments...)
+
+// Layering enforces the import DAG the architecture depends on:
+//
+//   - internal/core (the refinement engine) must not import cmd/*
+//     packages or loaders — the engine consumes an already-built graph
+//     and stays reusable from any frontend;
+//   - internal/obs and internal/shard must import only the standard
+//     library, because every other layer (including core's hot loop)
+//     imports them; a dependency added there becomes a dependency of
+//     everything.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "import-DAG rules: core imports no frontends/loaders; obs and shard stay stdlib-only",
+	Run:  runLayering,
+}
+
+func runLayering(p *Pass) {
+	path := p.Pkg.ImportPath
+	coreRules := pathHasSegment(path, "internal/core")
+	stdlibOnly := anySegment(path, "internal/obs", "internal/shard")
+	if !coreRules && !stdlibOnly {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			imp, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case coreRules && pathHasSegment(imp, "cmd"):
+				report(p, spec, "internal/core must not import command packages (%s): the engine stays frontend-agnostic", imp)
+			case coreRules && anySegment(imp, formatLoaderSegments...):
+				report(p, spec, "internal/core must not import loader packages (%s): loaders feed the graph builder, not the engine", imp)
+			case stdlibOnly && !p.Pkg.Stdlib[imp]:
+				report(p, spec, "%s must stay dependency-free but imports %s", path, imp)
+			}
+		}
+	}
+}
+
+func report(p *Pass, spec *ast.ImportSpec, format string, args ...any) {
+	p.Reportf(spec.Pos(), format, args...)
+}

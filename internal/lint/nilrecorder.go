@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Nilrecorder enforces the telemetry layer's nil-object contract: a nil
+// *Recorder (and every nil handle it returns) is the no-op recorder, so
+// instrumented code never branches on "is telemetry on". That only holds
+// if every exported method on a pointer receiver in internal/obs begins
+// by dealing with the nil receiver — either an explicit nil guard, a
+// return built from a nil comparison, or pure delegation to another
+// (guarded) method on the same receiver.
+var Nilrecorder = &Analyzer{
+	Name: "nilrecorder",
+	Doc:  "exported pointer-receiver methods in the telemetry layer must start with a nil-receiver guard",
+	Applies: func(path string) bool {
+		return pathHasSegment(path, "internal/obs")
+	},
+	Run: runNilrecorder,
+}
+
+func runNilrecorder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, ok := recv.Type.(*ast.StarExpr); !ok {
+				continue // value receiver: a nil pointer cannot reach it
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // unnamed receiver: the body cannot dereference it
+			}
+			name := recv.Names[0].Name
+			if len(fd.Body.List) == 0 {
+				continue
+			}
+			if startsWithNilGuard(fd.Body.List[0], name) || delegatesToReceiver(fd.Body.List, name) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(),
+				"exported method (%s).%s must begin with a nil-receiver guard (the nil %s is the no-op recorder)",
+				exprString(recv.Type), fd.Name.Name, exprString(recv.Type))
+		}
+	}
+}
+
+// startsWithNilGuard reports whether stmt is an if statement or return
+// whose condition/operands compare the receiver against nil.
+func startsWithNilGuard(stmt ast.Stmt, recv string) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		return mentionsNilCompare(s.Cond, recv)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if mentionsNilCompare(r, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mentionsNilCompare reports whether e contains `recv == nil` or
+// `recv != nil`.
+func mentionsNilCompare(e ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		op := be.Op.String()
+		if op != "==" && op != "!=" {
+			return true
+		}
+		if (isIdent(be.X, recv) && isIdent(be.Y, "nil")) || (isIdent(be.Y, recv) && isIdent(be.X, "nil")) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// delegatesToReceiver matches the one-liner forwarding idiom, e.g.
+// `func (c *Counter) Inc() { c.Add(1) }`: a single statement whose only
+// work is calling another method on the same receiver, which carries its
+// own guard.
+func delegatesToReceiver(body []ast.Stmt, recv string) bool {
+	if len(body) != 1 {
+		return false
+	}
+	var call ast.Expr
+	switch s := body[0].(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	ce, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ce.Fun.(*ast.SelectorExpr)
+	return ok && isIdent(sel.X, recv)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Noclock keeps nondeterministic ambient inputs out of the refinement
+// core. Repeated-state detection (§6.3) and the byte-identical-results
+// guarantee of the sharded engine both require that an iteration's
+// output be a pure function of the graph and the previous iteration:
+// wall-clock reads, random numbers, and environment lookups are exactly
+// the inputs that vary between runs. The telemetry layer (internal/obs)
+// is the designated owner of clocks and is allowlisted by scope; a core
+// site that reads the clock solely to feed telemetry must say so with a
+// //lint:ignore noclock annotation.
+var Noclock = &Analyzer{
+	Name: "noclock",
+	Doc:  "refinement core must not read clocks, randomness, or the environment",
+	Applies: func(path string) bool {
+		return anySegment(path, "internal/core", "internal/shard")
+	},
+	Run: runNoclock,
+}
+
+// bannedFuncs maps package path -> function names whose use makes an
+// inference depend on when or where the run happened.
+var bannedFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// bannedImports are packages whose every use is nondeterministic.
+var bannedImports = map[string]string{
+	"math/rand":    "pseudo-randomness",
+	"math/rand/v2": "pseudo-randomness",
+}
+
+func runNoclock(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				p.Reportf(spec.Pos(), "import of %s (%s) is forbidden in the refinement core", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if names, ok := bannedFuncs[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				p.Reportf(sel.Pos(),
+					"%s.%s makes the refinement core nondeterministic; thread the value in from outside or annotate //lint:ignore noclock <reason>",
+					obj.Pkg().Path(), obj.Name())
+			}
+			return true
+		})
+	}
+}

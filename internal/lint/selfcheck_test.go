@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsViolationFree runs the full analyzer suite over the whole
+// module — the same gate `make lint-static` applies in CI. Every
+// invariant the suite encodes (deterministic iteration, a clock-free
+// refinement core, nil-safe telemetry, the layering DAG, audited
+// errors) must hold on the shipped tree, with every waiver carried by
+// an explanatory //lint:ignore annotation.
+func TestRepoIsViolationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	for _, d := range lint.BadIgnores(pkgs) {
+		t.Errorf("%s", d)
+	}
+}

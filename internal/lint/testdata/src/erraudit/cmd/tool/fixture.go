@@ -1,0 +1,28 @@
+// Package main is an erraudit fixture: dropped error returns in a cmd
+// main, with exempt and suppressed cases.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Remove("stale.tmp") // flagged: error silently dropped
+
+	//lint:ignore erraudit fixture: best-effort cleanup, failure is acceptable
+	os.Remove("cache.tmp") // suppressed
+
+	_ = os.Remove("seen.tmp") // clean: explicit discard is a visible decision
+
+	if err := os.Remove("must.tmp"); err != nil { // clean: checked
+		fmt.Fprintln(os.Stderr, err)
+	}
+
+	fmt.Println("done") // clean: fmt printing is exempt
+
+	var b strings.Builder
+	b.WriteString("ok") // clean: strings.Builder never fails
+	fmt.Print(b.String())
+}

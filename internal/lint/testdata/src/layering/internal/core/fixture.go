@@ -1,0 +1,13 @@
+// Package core is a layering fixture: the engine layer importing a
+// format loader (flagged), an allowed dependency (clean), and a
+// suppressed violation.
+package core
+
+import (
+	_ "sort"
+
+	_ "repro/internal/asn"     // clean: core may use the data model
+	_ "repro/internal/collect" // flagged: format loader below the engine
+	//lint:ignore layering fixture: transitional import scheduled for removal
+	_ "repro/internal/rir" // suppressed
+)

@@ -1,0 +1,9 @@
+// Package obs is a layering fixture: the telemetry layer must stay
+// stdlib-only.
+package obs
+
+import (
+	_ "sort" // clean: standard library
+
+	_ "repro/internal/asn" // flagged: obs must be dependency-free
+)

@@ -1,0 +1,74 @@
+// Package core is a maporder fixture: flagged, suppressed, and clean
+// cases for every recognized idiom.
+package core
+
+import "sort"
+
+// Keys leaks map order into a slice: flagged.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// KeysSuppressed is the same leak with an annotation: not flagged.
+func KeysSuppressed(m map[string]int) []string {
+	var keys []string
+	//lint:ignore maporder fixture: caller sorts the result
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the collect-then-sort idiom: clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Copy is the keyed map-build idiom: clean.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// MarkAll stores a constant under a derived key: clean (identical
+// writes cannot conflict).
+func MarkAll(m map[string]int, seen map[int]bool) {
+	for _, v := range m {
+		seen[v] = true
+	}
+}
+
+// Contains is the guarded-accumulation idiom: clean.
+func Contains(m map[string]int, want int) bool {
+	found := false
+	for _, v := range m {
+		if v == want {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// FirstMatch returns an order-dependent element: flagged (the branch
+// references the loop variable).
+func FirstMatch(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k
+		}
+	}
+	return ""
+}

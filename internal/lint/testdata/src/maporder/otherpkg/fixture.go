@@ -1,0 +1,12 @@
+// Package otherpkg sits outside maporder's scope: the same map-order
+// leak as the core fixture must produce no findings here.
+package otherpkg
+
+// Keys leaks map order but is out of scope: clean.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,50 @@
+// Package obs is a nilrecorder fixture: telemetry-style types whose
+// exported pointer-receiver methods must open with a nil guard.
+package obs
+
+// Rec mimics the Recorder contract.
+type Rec struct{ n int64 }
+
+// Add has the canonical positive-form guard: clean.
+func (r *Rec) Add(d int64) {
+	if r != nil {
+		r.n += d
+	}
+}
+
+// Value has the early-return guard: clean.
+func (r *Rec) Value() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Enabled returns a nil comparison directly: clean.
+func (r *Rec) Enabled() bool { return r != nil }
+
+// Inc delegates to a guarded method on the same receiver: clean.
+func (r *Rec) Inc() { r.Add(1) }
+
+// Reset dereferences the receiver with no guard: flagged.
+func (r *Rec) Reset() {
+	r.n = 0
+}
+
+// Drain is unguarded but suppressed: not flagged.
+//
+//lint:ignore nilrecorder fixture: documented caller guarantees a non-nil receiver
+func (r *Rec) Drain() int64 {
+	v := r.n
+	r.n = 0
+	return v
+}
+
+// reset is unexported: clean (the contract covers the public surface).
+func (r *Rec) reset() { r.n = 0 }
+
+// Snapshot is a value receiver: clean (a nil pointer cannot reach it).
+type Snapshot struct{ N int64 }
+
+// Total is exported on a value receiver: clean.
+func (s Snapshot) Total() int64 { return s.N }

@@ -1,0 +1,33 @@
+// Package core is a noclock fixture: ambient-input reads in the
+// refinement core, one of them suppressed.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// StampSuppressed reads the wall clock under an annotation: not flagged.
+func StampSuppressed() int64 {
+	//lint:ignore noclock fixture: telemetry-only clock read
+	return time.Now().UnixNano()
+}
+
+// Jitter uses math/rand (flagged at the import) and the environment.
+func Jitter() int {
+	if os.Getenv("SEED") != "" { // flagged
+		return 0
+	}
+	return rand.Int()
+}
+
+// Elapsed measures a duration: flagged (time.Since).
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

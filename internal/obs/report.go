@@ -67,10 +67,10 @@ func (h HistogramReport) Mean() int64 {
 // Report snapshots the recorder. Nil-safe: a nil Recorder yields an
 // empty (but valid) report.
 func (r *Recorder) Report() *Report {
-	rep := &Report{PeakRSSBytes: PeakRSSBytes()}
 	if r == nil {
-		return rep
+		return &Report{PeakRSSBytes: PeakRSSBytes()}
 	}
+	rep := &Report{PeakRSSBytes: PeakRSSBytes()}
 	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
