@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-static build test race bench smoke profile
+.PHONY: ci vet lint lint-static build test race bench smoke fuzz-smoke profile
 
 ci: vet lint lint-static build test race
 
@@ -51,6 +51,23 @@ smoke:
 		-quiet-report -report-json $(SMOKE_DIR)/report.json
 	$(GO) run ./cmd/reportcheck -report $(SMOKE_DIR)/report.json \
 		-counters load.traces,graph.interfaces,graph.routers,refine.votes_cast
+
+# Short fuzzing burst over every parser fuzz target. Each target needs
+# its own invocation: -fuzz must match exactly one function per package
+# (traceroute has two). Seed corpora include faultio-derived truncated,
+# corrupted, and garbled variants, so even a short burst revisits the
+# fault classes the loaders must survive.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/alias -run '^$$' -fuzz '^FuzzReadNodes$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bgp -run '^$$' -fuzz '^FuzzReadRoutes$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mrt -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rir -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ixp -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pfx2as -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/itdk -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 
 # CPU/heap profiles of the benchmark suite, for pprof inspection:
 #   go tool pprof profiles/refine.cpu.pprof

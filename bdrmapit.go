@@ -28,6 +28,7 @@
 package bdrmapit
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/netip"
@@ -35,18 +36,13 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/alias"
 	"repro/internal/asn"
 	"repro/internal/asrel"
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/ip2as"
 	"repro/internal/itdk"
-	"repro/internal/ixp"
-	"repro/internal/mrt"
 	"repro/internal/obs"
-	"repro/internal/pfx2as"
-	"repro/internal/rir"
 	"repro/internal/traceroute"
 )
 
@@ -107,6 +103,22 @@ type Options struct {
 	// (Recorder.SetLogOutput) or serve live metrics (obs.Serve) during
 	// the run.
 	Recorder *obs.Recorder
+	// Strict turns every input-source failure into a hard error: no
+	// optional-source degradation, no required-source error budget. Use
+	// it when inputs are expected to be pristine and a silent fallback
+	// would hide an operational problem.
+	Strict bool
+	// MaxBadInputFiles is the error budget for required sources
+	// (traceroutes, BGP RIBs): up to this many corrupt or missing
+	// required files are skipped with a loud warning before the run
+	// aborts. Default 0 — any bad required file aborts. Ignored under
+	// Strict. Optional sources (alias, IXP, RIR, relationships,
+	// prefix2as) never consume the budget; they degrade to the paper's
+	// documented fallbacks and are recorded in Report.Degradations.
+	MaxBadInputFiles int
+	// WarnWriter receives the loud degradation and skipped-file
+	// warnings. nil means os.Stderr; use io.Discard to silence.
+	WarnWriter io.Writer
 }
 
 func (o Options) internal() core.Options {
@@ -144,6 +156,12 @@ type Result struct {
 	// Converged reports whether the refinement loop reached a repeated
 	// state before the iteration cap.
 	Converged bool
+	// Interrupted reports that the run's context was cancelled and the
+	// annotations are the last committed refinement iteration's partial
+	// result. Serializers (Annotations, WriteITDK) append a PARTIAL
+	// marker so downstream consumers cannot mistake the output for a
+	// converged run.
+	Interrupted bool
 	// Report is the run's telemetry snapshot: per-phase wall-clock
 	// timings, loader/graph/heuristic counters, and the per-iteration
 	// convergence trace. It marshals to JSON and renders with
@@ -198,7 +216,9 @@ func (r *Result) ASLinks() [][2]uint32 {
 }
 
 // Annotations writes every router annotation as "address router-AS
-// connected-AS" lines, the output format of the published tool.
+// connected-AS" lines, the output format of the published tool. When
+// the run was interrupted a trailing "# PARTIAL" comment line marks the
+// output as a non-converged partial result.
 func (r *Result) Annotations(w io.Writer) error {
 	for _, rt := range r.res.Graph.Routers {
 		for _, i := range rt.Interfaces {
@@ -206,6 +226,12 @@ func (r *Result) Annotations(w io.Writer) error {
 				i.Addr, uint32(rt.Annotation), uint32(i.Annotation)); err != nil {
 				return err
 			}
+		}
+	}
+	if r.Interrupted {
+		if _, err := fmt.Fprintf(w, "# PARTIAL: run interrupted after %d refinement iteration(s); annotations are the last committed iteration, not a converged map\n",
+			r.Iterations); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -250,8 +276,22 @@ func (r *Result) NumRouters() int { return len(r.res.Graph.Routers) }
 func (r *Result) NumInterfaces() int { return len(r.res.Graph.Interfaces) }
 
 // Run loads every source file and executes the full three-phase
-// inference.
+// inference. It is RunContext with a background (never cancelled)
+// context.
 func Run(src Sources, opts Options) (*Result, error) {
+	return RunContext(context.Background(), src, opts)
+}
+
+// RunContext is Run with cooperative cancellation and the run's
+// failure policy applied. The context is observed at file boundaries
+// during loading, at trace batches during graph construction, and at
+// batch boundaries inside the refinement loop, so any worker count
+// yields byte-identical output. Cancellation before the refinement
+// loop starts returns (nil, ctx.Err()-wrapping error); once refinement
+// is underway it returns the last committed iteration's annotations as
+// a partial Result with Interrupted=true and no error — the partial
+// annotations are the deliverable.
+func RunContext(ctx context.Context, src Sources, opts Options) (*Result, error) {
 	if len(src.TraceroutePaths) == 0 {
 		return nil, fmt.Errorf("bdrmapit: no traceroute inputs")
 	}
@@ -260,159 +300,61 @@ func Run(src Sources, opts Options) (*Result, error) {
 		rec = obs.New()
 		opts.Recorder = rec
 	}
+	warnw := opts.WarnWriter
+	if warnw == nil {
+		warnw = os.Stderr
+	}
+	l := &loader{ctx: ctx, opts: &opts, rec: rec, warnw: warnw}
 
 	loadPhase := rec.Phase("load-inputs")
-	tracePhase := rec.Phase("load-traces")
-	var traces []*traceroute.Trace
-	for _, p := range src.TraceroutePaths {
-		ts, stats, err := readTraces(p)
-		if err != nil {
-			return nil, err
-		}
-		traces = append(traces, ts...)
-		rec.Counter("load.traces").Add(int64(len(ts)))
-		rec.Counter("load.traces.skipped_records").Add(int64(stats.SkippedRecords))
-		rec.Counter("load.traces.dropped_hops").Add(int64(stats.DroppedHops))
-		rec.Logf("loaded %d traces from %s", len(ts), p)
+	traces, err := l.loadTraces(src.TraceroutePaths)
+	if err != nil {
+		return nil, err
 	}
-	tracePhase.Note("traces", int64(len(traces)))
-	tracePhase.End()
-
-	ribPhase := rec.Phase("load-rib")
-	var routes []bgp.Route
-	for _, p := range src.BGPRIBPaths {
-		var (
-			r     []bgp.Route
-			stats bgp.ReadStats
-			err   error
-		)
-		if strings.EqualFold(filepath.Ext(p), ".mrt") {
-			r, err = withFile(p, mrt.Read)
-			stats.Routes = len(r)
-		} else {
-			err = withFileErr(p, func(f io.Reader) error {
-				var rerr error
-				r, stats, rerr = bgp.ReadRoutesStats(f)
-				return rerr
-			})
-		}
-		if err != nil {
-			return nil, fmt.Errorf("bdrmapit: rib %s: %w", p, err)
-		}
-		routes = append(routes, r...)
-		rec.Counter("load.rib.routes").Add(int64(stats.Routes))
-		rec.Counter("load.rib.skipped_lines").Add(int64(stats.SkippedLines))
+	routes, err := l.loadRoutes(src.BGPRIBPaths, src.Prefix2ASPaths)
+	if err != nil {
+		return nil, err
 	}
-	for _, p := range src.Prefix2ASPaths {
-		entries, err := withFile(p, pfx2as.Read)
-		if err != nil {
-			return nil, fmt.Errorf("bdrmapit: prefix2as %s: %w", p, err)
-		}
-		// Fold into the origin table as one-element synthetic routes
-		// (multi-origin entries become AS_SETs, preserving MOAS
-		// semantics).
-		for _, e := range entries {
-			var elem bgp.PathElem
-			if len(e.Origins) == 1 {
-				elem = bgp.PathElem{AS: e.Origins[0]}
-			} else {
-				elem = bgp.PathElem{Set: e.Origins}
-			}
-			routes = append(routes, bgp.Route{Prefix: e.Prefix, Path: []bgp.PathElem{elem}})
-		}
-		rec.Counter("load.rib.routes").Add(int64(len(entries)))
+	dels, err := l.loadRIR(src.RIRDelegationPaths)
+	if err != nil {
+		return nil, err
 	}
-	ribPhase.Note("routes", int64(len(routes)))
-	ribPhase.End()
-
-	rirPhase := rec.Phase("load-rir")
-	dels := rir.New()
-	for _, p := range src.RIRDelegationPaths {
-		var stats rir.ReadStats
-		if err := withFileErr(p, func(f io.Reader) error {
-			var rerr error
-			stats, rerr = rir.ReadIntoStats(dels, f)
-			return rerr
-		}); err != nil {
-			return nil, fmt.Errorf("bdrmapit: rir %s: %w", p, err)
-		}
-		rec.Counter("load.rir.records").Add(int64(stats.Records))
-		rec.Counter("load.rir.addr_records").Add(int64(stats.AddrRecords))
-		rec.Counter("load.rir.unmatched_opaque").Add(int64(stats.UnmatchedOpaque))
+	ixps, err := l.loadIXPs(src.IXPPrefixListPaths)
+	if err != nil {
+		return nil, err
 	}
-	rirPhase.Note("prefixes", int64(dels.NumPrefixes()))
-	rirPhase.End()
-
-	ixpPhase := rec.Phase("load-ixp")
-	ixps := ixp.NewSet()
-	for _, p := range src.IXPPrefixListPaths {
-		if err := withFileErr(p, func(f io.Reader) error {
-			switch strings.ToLower(filepath.Ext(p)) {
-			case ".json":
-				return ixps.ReadJSON(f)
-			case ".csv":
-				return ixps.ReadCSV(f)
-			default:
-				_, err := ixps.ReadListStats(f)
-				return err
-			}
-		}); err != nil {
-			return nil, fmt.Errorf("bdrmapit: ixp %s: %w", p, err)
-		}
+	rels, err := l.loadRels(src.ASRelationshipPaths, routes)
+	if err != nil {
+		return nil, err
 	}
-	rec.Counter("load.ixp.prefixes").Add(int64(ixps.Len()))
-	ixpPhase.Note("prefixes", int64(ixps.Len()))
-	ixpPhase.End()
-
-	relPhase := rec.Phase("load-relationships")
-	var rels *asrel.Graph
-	if len(src.ASRelationshipPaths) > 0 {
-		rels = asrel.New()
-		for _, p := range src.ASRelationshipPaths {
-			g, err := withFile(p, asrel.Read)
-			if err != nil {
-				return nil, fmt.Errorf("bdrmapit: relationships %s: %w", p, err)
-			}
-			mergeRels(rels, g)
-		}
-	} else {
-		paths := make([][]asn.ASN, 0, len(routes))
-		for _, rt := range routes {
-			paths = append(paths, rt.ASPath())
-		}
-		rels = asrel.Infer(paths)
-		rec.Logf("inferred AS relationships from %d RIB paths", len(paths))
+	aliases, err := l.loadAliases(src.AliasNodePaths)
+	if err != nil {
+		return nil, err
 	}
-	rec.Counter("load.rel.ases").Add(int64(len(rels.ASes())))
-	relPhase.End()
-
-	aliasPhase := rec.Phase("load-aliases")
-	aliases := alias.NewSets()
-	aliasGroups := 0
-	for _, p := range src.AliasNodePaths {
-		s, err := withFile(p, alias.ReadNodes)
-		if err != nil {
-			return nil, fmt.Errorf("bdrmapit: aliases %s: %w", p, err)
-		}
-		s.Groups(func(addrs []netip.Addr) bool {
-			aliases.Add(addrs...)
-			aliasGroups++
-			return true
-		})
-	}
-	rec.Counter("load.alias.groups").Add(int64(aliasGroups))
-	aliasPhase.End()
 	loadPhase.End()
 	rec.Logf("inputs loaded: %d traces, %d routes, %d rir prefixes, %d ixp prefixes",
 		len(traces), len(routes), dels.NumPrefixes(), ixps.Len())
 
+	// The error budget may have consumed every required file; an empty
+	// required class is an operational failure no fallback covers.
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("bdrmapit: no traces loaded from %d traceroute input(s)", len(src.TraceroutePaths))
+	}
+	if len(routes) == 0 && len(src.BGPRIBPaths) > 0 {
+		return nil, fmt.Errorf("bdrmapit: no routes loaded from %d RIB input(s)", len(src.BGPRIBPaths))
+	}
+
 	resolver := &ip2as.Resolver{IXPs: ixps, Table: bgp.NewTable(routes), Delegations: dels}
-	res := core.Infer(traces, resolver, aliases, rels, opts.internal())
+	res, err := core.InferContext(ctx, traces, resolver, aliases, rels, opts.internal())
+	if err != nil {
+		return nil, fmt.Errorf("bdrmapit: %w", err)
+	}
 	return &Result{
-		res:        res,
-		Iterations: res.Iterations,
-		Converged:  res.Converged,
-		Report:     res.Report,
+		res:         res,
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		Interrupted: res.Interrupted,
+		Report:      res.Report,
 	}, nil
 }
 

@@ -19,17 +19,28 @@
 // -report-json. -v streams progress logs while the run executes, and
 // -metrics-addr serves live expvar-style metrics plus net/http/pprof
 // at http://ADDR/debug/ for profiling long runs.
+//
+// Resilience: SIGINT/SIGTERM (and -timeout) cancel the run gracefully —
+// input loading aborts at a file boundary, while a run that already
+// reached refinement stops at the next iteration boundary and still
+// writes its outputs, marked with a "# PARTIAL" footer. A second signal
+// kills the process immediately. -strict turns every degraded input
+// source into a hard error; -max-bad-inputs N tolerates up to N
+// unreadable required files (traceroutes, RIBs) before aborting.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	bdrmapit "repro"
 	"repro/internal/obs"
@@ -61,11 +72,30 @@ func main() {
 		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof at this address (e.g. localhost:6060)")
 		repJSON = flag.String("report-json", "", "write the run report as JSON to this file (- for stdout)")
 		quiet   = flag.Bool("quiet-report", false, "suppress the stderr run-report summary")
+		timeout = flag.Duration("timeout", 0, "cancel the run after this long, flushing partial annotations (0 = no limit)")
+		strict  = flag.Bool("strict", false, "treat any degraded input source as a hard error")
+		maxBad  = flag.Int("max-bad-inputs", 0, "tolerate up to N unreadable required input files before aborting")
 	)
 	flag.Parse()
 	if *traces == "" {
 		log.Fatal("-traces is required")
 	}
+
+	// First SIGINT/SIGTERM cancels the run gracefully; stop() restores
+	// default delivery once that fires, so a second signal kills the
+	// process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	rec := obs.New()
 	if *verbose {
 		rec.SetLogOutput(os.Stderr)
@@ -77,16 +107,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "metrics and pprof at http://%s/debug/\n", addr)
 	}
-	res, err := bdrmapit.Run(bdrmapit.Sources{
+	res, err := bdrmapit.RunContext(ctx, bdrmapit.Sources{
 		TraceroutePaths:     split(*traces),
 		BGPRIBPaths:         split(*rib),
 		RIRDelegationPaths:  split(*rirF),
 		IXPPrefixListPaths:  split(*ixpF),
 		ASRelationshipPaths: split(*rels),
 		AliasNodePaths:      split(*aliases),
-	}, bdrmapit.Options{MaxIterations: *maxIter, Workers: *workers, Recorder: rec})
+	}, bdrmapit.Options{
+		MaxIterations:    *maxIter,
+		Workers:          *workers,
+		Recorder:         rec,
+		Strict:           *strict,
+		MaxBadInputFiles: *maxBad,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if res.Interrupted {
+		fmt.Fprintln(os.Stderr,
+			"bdrmapit: run interrupted; writing partial annotations from the last committed iteration")
 	}
 
 	links := res.InterdomainLinks()

@@ -5,9 +5,16 @@
 // report through it so a telemetry regression fails the build rather
 // than silently emptying the report.
 //
+// Degradations and interruption are failures by default: a clean run
+// should report neither. -allow-degraded accepts degraded input
+// sources (each entry must still be structurally complete — class,
+// path, fallback, and error all populated); -allow-interrupted accepts
+// a cancelled run's report.
+//
 // Usage:
 //
 //	reportcheck -report FILE [-counters name,name...]
+//	            [-allow-degraded] [-allow-interrupted]
 package main
 
 import (
@@ -25,8 +32,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reportcheck: ")
 	var (
-		path     = flag.String("report", "", "run report JSON file (required)")
-		counters = flag.String("counters", "", "comma-separated counter names that must be non-zero")
+		path        = flag.String("report", "", "run report JSON file (required)")
+		counters    = flag.String("counters", "", "comma-separated counter names that must be non-zero")
+		allowDegr   = flag.Bool("allow-degraded", false, "accept a report with degraded input sources")
+		allowInterr = flag.Bool("allow-interrupted", false, "accept a report from an interrupted (cancelled) run")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -65,6 +74,24 @@ func main() {
 		}
 	}
 	walk(rep.Phases)
+
+	if rep.Interrupted && !*allowInterr {
+		fail("run was interrupted (pass -allow-interrupted to accept a partial report)")
+	}
+	if len(rep.Degradations) > 0 && !*allowDegr {
+		fail("%d input source(s) degraded (pass -allow-degraded to accept):", len(rep.Degradations))
+		for _, d := range rep.Degradations {
+			fmt.Fprintf(os.Stderr, "reportcheck:   %s\n", d)
+		}
+	}
+	// Degradation entries must be structurally complete even when
+	// allowed: an entry that cannot say what failed or what fallback
+	// applied defeats the point of recording it.
+	for i, d := range rep.Degradations {
+		if d.Class == "" || d.Path == "" || d.Fallback == "" || d.Error == "" {
+			fail("degradation %d is incomplete: %+v", i, d)
+		}
+	}
 
 	for _, name := range strings.Split(*counters, ",") {
 		name = strings.TrimSpace(name)

@@ -1,0 +1,244 @@
+package bdrmapit
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// quiet returns options with warnings silenced, so degradation tests do
+// not spray the expected warnings over the test output.
+func quiet(opts Options) Options {
+	opts.WarnWriter = io.Discard
+	return opts
+}
+
+// TestDegradedMissingAliasMatchesNoAliasRun is the degraded-run golden
+// property: a run whose alias source fails to load must produce
+// byte-identical annotations to a run configured with no alias source
+// at all — the §7.4 fallback, where each interface is its own router.
+func TestDegradedMissingAliasMatchesNoAliasRun(t *testing.T) {
+	p, _ := dataset(t)
+	base := Sources{
+		TraceroutePaths:     []string{p.Traceroutes},
+		BGPRIBPaths:         []string{p.RIB},
+		ASRelationshipPaths: []string{p.Relationships},
+	}
+
+	degradedSrc := base
+	degradedSrc.AliasNodePaths = []string{"/nonexistent/aliases.nodes"}
+	degraded, err := Run(degradedSrc, quiet(Options{}))
+	if err != nil {
+		t.Fatalf("missing alias file must degrade, not abort: %v", err)
+	}
+	fallback, err := Run(base, quiet(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got, want bytes.Buffer
+	if err := degraded.Annotations(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := fallback.Annotations(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("degraded run (failed alias source) diverges from the documented no-alias fallback run")
+	}
+
+	ds := degraded.Report.Degradations
+	if len(ds) != 1 {
+		t.Fatalf("Report.Degradations has %d entries, want 1: %+v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Class != "alias" || d.Path != "/nonexistent/aliases.nodes" || d.Error == "" {
+		t.Errorf("degradation entry incomplete: %+v", d)
+	}
+	if !strings.Contains(d.Fallback, "§7.4") {
+		t.Errorf("alias fallback should cite the paper's no-alias mode, got %q", d.Fallback)
+	}
+	if len(fallback.Report.Degradations) != 0 {
+		t.Errorf("clean run recorded degradations: %+v", fallback.Report.Degradations)
+	}
+}
+
+// TestStrictTurnsDegradationIntoError: under Options.Strict an optional
+// source failure is a hard *SourceError, not a fallback.
+func TestStrictTurnsDegradationIntoError(t *testing.T) {
+	p, _ := dataset(t)
+	_, err := Run(Sources{
+		TraceroutePaths: []string{p.Traceroutes},
+		BGPRIBPaths:     []string{p.RIB},
+		AliasNodePaths:  []string{"/nonexistent/aliases.nodes"},
+	}, quiet(Options{Strict: true}))
+	var se *SourceError
+	if !errors.As(err, &se) {
+		t.Fatalf("strict run returned %v, want a *SourceError", err)
+	}
+	if se.Class != "alias" || se.Path != "/nonexistent/aliases.nodes" || se.Err == nil {
+		t.Errorf("SourceError incomplete: %+v", se)
+	}
+}
+
+// TestEveryOptionalClassDegrades: each optional source class degrades
+// with a structured entry naming the class and file, and the run still
+// completes.
+func TestEveryOptionalClassDegrades(t *testing.T) {
+	p, _ := dataset(t)
+	res, err := Run(Sources{
+		TraceroutePaths:     []string{p.Traceroutes},
+		BGPRIBPaths:         []string{p.RIB},
+		Prefix2ASPaths:      []string{"/nonexistent/pfx2as.txt"},
+		RIRDelegationPaths:  []string{"/nonexistent/delegated.txt"},
+		IXPPrefixListPaths:  []string{"/nonexistent/ixp.txt"},
+		ASRelationshipPaths: []string{"/nonexistent/as-rel.txt"},
+		AliasNodePaths:      []string{"/nonexistent/aliases.nodes"},
+	}, quiet(Options{}))
+	if err != nil {
+		t.Fatalf("optional-source failures must degrade, not abort: %v", err)
+	}
+	if res.NumRouters() == 0 {
+		t.Fatal("degraded run produced an empty result")
+	}
+	got := make(map[string]bool)
+	for _, d := range res.Report.Degradations {
+		if d.Path == "" || d.Fallback == "" || d.Error == "" {
+			t.Errorf("degradation entry incomplete: %+v", d)
+		}
+		got[d.Class] = true
+	}
+	for _, class := range []string{"prefix2as", "rir", "ixp", "relationships", "alias"} {
+		if !got[class] {
+			t.Errorf("no degradation recorded for the %s class (got %v)", class, res.Report.Degradations)
+		}
+	}
+}
+
+// TestFailedRelationshipsFallBackToRIBInference: when every
+// relationship file fails, the run must behave like one with no
+// relationship file — inferring relationships from RIB AS paths.
+func TestFailedRelationshipsFallBackToRIBInference(t *testing.T) {
+	p, _ := dataset(t)
+	base := Sources{
+		TraceroutePaths: []string{p.Traceroutes},
+		BGPRIBPaths:     []string{p.RIB},
+	}
+	degradedSrc := base
+	degradedSrc.ASRelationshipPaths = []string{"/nonexistent/as-rel.txt"}
+	degraded, err := Run(degradedSrc, quiet(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := Run(base, quiet(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := degraded.Annotations(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := inferred.Annotations(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("failed-relationships run diverges from the RIB-inference fallback run")
+	}
+	ds := degraded.Report.Degradations
+	if len(ds) != 1 || !strings.Contains(ds[0].Fallback, "RIB AS paths") {
+		t.Errorf("expected one relationships degradation citing RIB AS paths, got %+v", ds)
+	}
+}
+
+// TestRequiredSourceErrorBudget: bad required files abort at the
+// default budget of zero, are skipped within a positive budget, and
+// abort again once the budget is exhausted.
+func TestRequiredSourceErrorBudget(t *testing.T) {
+	p, _ := dataset(t)
+	good := []string{p.Traceroutes}
+	oneBad := []string{"/nonexistent/a.jsonl", p.Traceroutes}
+	twoBad := []string{"/nonexistent/a.jsonl", "/nonexistent/b.jsonl", p.Traceroutes}
+
+	if _, err := Run(Sources{TraceroutePaths: oneBad, BGPRIBPaths: []string{p.RIB}}, quiet(Options{})); err == nil {
+		t.Error("default budget 0: a bad required file must abort")
+	}
+
+	res, err := Run(Sources{TraceroutePaths: oneBad, BGPRIBPaths: []string{p.RIB}},
+		quiet(Options{MaxBadInputFiles: 1}))
+	if err != nil {
+		t.Fatalf("budget 1 with one bad file must continue: %v", err)
+	}
+	if res.NumRouters() == 0 {
+		t.Error("budgeted run produced an empty result")
+	}
+	if n := res.Report.Counters["load.bad_input_files"]; n != 1 {
+		t.Errorf("load.bad_input_files = %d, want 1", n)
+	}
+
+	var se *SourceError
+	_, err = Run(Sources{TraceroutePaths: twoBad, BGPRIBPaths: []string{p.RIB}},
+		quiet(Options{MaxBadInputFiles: 1}))
+	if !errors.As(err, &se) {
+		t.Fatalf("budget 1 with two bad files must abort with a *SourceError, got %v", err)
+	}
+	if se.Class != "traceroute" || se.Path != "/nonexistent/b.jsonl" {
+		t.Errorf("abort should name the over-budget file: %+v", se)
+	}
+
+	// Strict ignores the budget entirely.
+	if _, err := Run(Sources{TraceroutePaths: oneBad, BGPRIBPaths: []string{p.RIB}},
+		quiet(Options{Strict: true, MaxBadInputFiles: 5})); err == nil {
+		t.Error("strict mode must abort on the first bad file regardless of budget")
+	}
+
+	// A budget generous enough to consume every required file still
+	// cannot produce a run with nothing to work on.
+	if _, err := Run(Sources{TraceroutePaths: []string{"/nonexistent/a.jsonl"}, BGPRIBPaths: []string{p.RIB}},
+		quiet(Options{MaxBadInputFiles: 5})); err == nil {
+		t.Error("a run with zero surviving traceroute files must abort")
+	}
+
+	// Malformed RIB within budget: skipped with a warning.
+	if _, err := Run(Sources{TraceroutePaths: good, BGPRIBPaths: []string{p.GroundTruth, p.RIB}},
+		quiet(Options{MaxBadInputFiles: 1})); err != nil {
+		t.Errorf("budget 1 with one malformed RIB must continue: %v", err)
+	}
+}
+
+// TestRunContextCancelledBeforeLoad: a pre-cancelled context aborts
+// during input loading with an error that wraps context.Canceled.
+func TestRunContextCancelledBeforeLoad(t *testing.T) {
+	p, _ := dataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Sources{
+		TraceroutePaths: []string{p.Traceroutes},
+		BGPRIBPaths:     []string{p.RIB},
+	}, quiet(Options{}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled wrap", err)
+	}
+}
+
+// TestInterruptedAnnotationsCarryPartialMarker: serializing an
+// interrupted result appends the "# PARTIAL" footer so downstream
+// consumers cannot mistake it for a converged map.
+func TestInterruptedAnnotationsCarryPartialMarker(t *testing.T) {
+	res := runFull(t, quiet(Options{}))
+	res.Interrupted = true // simulate a cancelled run's surface
+	var buf bytes.Buffer
+	if err := res.Annotations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "# PARTIAL") {
+		t.Errorf("interrupted annotations end with %q, want a # PARTIAL marker", last)
+	}
+	if err := res.WriteITDK(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"hash/fnv"
 	"net/netip"
 	"sync"
@@ -44,6 +45,12 @@ type Options struct {
 	// per-worker shard timings. nil (the default) disables collection;
 	// the engine's annotations are identical either way.
 	Recorder *obs.Recorder
+	// hookIterEnd, when non-nil, runs after each fully committed
+	// refinement iteration (snapshot, router, and interface passes all
+	// complete). It is a test-only seam — in-package tests use it to
+	// cancel a context at exactly iteration k and prove interruption
+	// determinism; nothing outside the package can set it.
+	hookIterEnd func(iter int)
 	// DisableDestTieBreak ablates an extension to the §6.1.4 tie-break:
 	// before falling back to the smallest customer cone, a vote tie is
 	// broken toward the AS whose customer cone covers the most of the
@@ -199,8 +206,31 @@ func (c *refineCounters) flush(t *iterTally) {
 // of worker count and shard boundaries: Run(w=1) and Run(w=N) produce
 // byte-identical results.
 func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
+	return RunContext(context.Background(), g, rels, opts)
+}
+
+// RunContext is Run with cooperative cancellation. The context is
+// checked only at batch boundaries — before each sharded pass — so the
+// annotation state a cancelled run leaves behind is always the state of
+// a fully committed iteration, byte-identical at every worker count to
+// a fresh run capped at that iteration (MaxIterations=k). On
+// cancellation the partial result carries Interrupted=true, Iterations
+// set to the last committed iteration, and a fully populated Report;
+// there is no error to return because the partial annotations are the
+// deliverable.
+func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Options) *Result {
 	opts.setDefaults()
 	rec := opts.Recorder
+
+	if ctx.Err() != nil {
+		// Cancelled before annotation began: the iteration-0 state (no
+		// annotations) is the last committed state.
+		res := &Result{Graph: g, Interrupted: true}
+		rec.MarkInterrupted()
+		res.Report = rec.Report()
+		res.Report.Interrupted = true
+		return res
+	}
 
 	lh := rec.Phase("lasthop")
 	annotateLastHops(g, rels, opts)
@@ -222,14 +252,21 @@ func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
 	var changedPerIter []int64 // oscillation diagnostics (one entry per iteration)
 	var mu sync.Mutex          // merges per-shard tallies into the iteration total
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
-		res.Iterations = iter
 		var it iterTally
-		shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
+		// Step 1: snapshot. A cancellation observed here leaves every
+		// annotation at the previous iteration's committed state.
+		if !shard.ForCtx(ctx, len(g.Routers), opts.Workers, func(lo, hi int) {
 			for _, r := range g.Routers[lo:hi] {
 				r.prevAnnotation = r.Annotation
 			}
-		})
-		shard.ForShardsTimed(len(g.Routers), opts.Workers, func(_, lo, hi int) {
+		}) {
+			res.Interrupted = true
+			break
+		}
+		// Step 2: routers. The pass either runs in full or not at all
+		// (batch-boundary cancellation); a refusal leaves the committed
+		// state untouched.
+		if !shard.ForShardsTimedCtx(ctx, len(g.Routers), opts.Workers, func(_, lo, hi int) {
 			var local iterTally
 			for _, r := range g.Routers[lo:hi] {
 				if r.LastHop {
@@ -245,8 +282,16 @@ func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
 				it.add(&local)
 				mu.Unlock()
 			}
-		}, routerTiming)
-		shard.ForShardsTimed(len(g.sortedAddrs), opts.Workers, func(_, lo, hi int) {
+		}, routerTiming) {
+			res.Interrupted = true
+			break
+		}
+		// Step 3: interfaces. A cancellation observed here arrives after
+		// the router pass already wrote iteration iter's router
+		// annotations; roll those back to the snapshot so the partial
+		// result is exactly the last fully committed iteration — never a
+		// mixed state with new routers and old interfaces.
+		if !shard.ForShardsTimedCtx(ctx, len(g.sortedAddrs), opts.Workers, func(_, lo, hi int) {
 			var changed int64
 			for _, addr := range g.sortedAddrs[lo:hi] {
 				i := g.Interfaces[addr]
@@ -261,15 +306,31 @@ func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
 				it.changedIfaces += changed
 				mu.Unlock()
 			}
-		}, ifaceTiming)
+		}, ifaceTiming) {
+			shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
+				for _, r := range g.Routers[lo:hi] {
+					r.Annotation = r.prevAnnotation
+				}
+			})
+			res.Interrupted = true
+			break
+		}
+		res.Iterations = iter
 		if rec.Enabled() {
 			trace.Append(it.row(iter))
 			counters.flush(&it)
 			changedPerIter = append(changedPerIter, it.changedRouters)
 		}
-		if n, repeated := cycles.record(g.stateHash(), iter); repeated {
+		repeated := false
+		if n, rep := cycles.record(g.stateHash(), iter); rep {
 			res.Converged = true
 			res.CycleLength = n
+			repeated = true
+		}
+		if opts.hookIterEnd != nil {
+			opts.hookIterEnd(iter)
+		}
+		if repeated {
 			break
 		}
 	}
@@ -287,7 +348,16 @@ func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
 		rec.Warnf("refinement oscillates: state repeats with cycle length %d (iterations %d-%d); changed routers per iteration in the cycle: %v",
 			res.CycleLength, first, res.Iterations, changedPerIter[len(changedPerIter)-res.CycleLength:])
 	}
+	if res.Interrupted {
+		rec.MarkInterrupted()
+		rec.Warnf("run cancelled after iteration %d of at most %d; annotations are the last committed iteration's partial result",
+			res.Iterations, opts.MaxIterations)
+	}
 	res.Report = rec.Report()
+	// Set the flag on the snapshot directly too, so a run without a
+	// Recorder (whose Report is the empty nil-recorder snapshot) still
+	// reports the interruption.
+	res.Report.Interrupted = res.Interrupted
 	return res
 }
 

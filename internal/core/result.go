@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 
@@ -25,6 +26,12 @@ type Result struct {
 	// point, >1 that it oscillated between CycleLength states (§6.3
 	// stops on either). 0 when the iteration cap ended the loop.
 	CycleLength int
+	// Interrupted reports that the run's context was cancelled before
+	// the loop finished. The annotations are then the last committed
+	// iteration's partial result — byte-identical to a fresh run with
+	// MaxIterations=Iterations at any worker count — and must not be
+	// mistaken for a converged map.
+	Interrupted bool
 	// Report is the telemetry snapshot taken when the run finished:
 	// phase timings, pipeline counters, and the per-iteration
 	// convergence trace. Always non-nil; empty (wall clock and peak RSS
@@ -132,19 +139,52 @@ func (res *Result) ASLinks() [][2]asn.ASN {
 func Infer(traces []*traceroute.Trace, resolver *ip2as.Resolver,
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) *Result {
 
+	// context.Background is never cancelled, so InferContext cannot fail.
+	res, _ := InferContext(context.Background(), traces, resolver, aliases, rels, opts)
+	return res
+}
+
+// traceBatch is how many traces the graph build adds between context
+// checks — frequent enough that cancellation lands within milliseconds,
+// coarse enough that the check never shows up in a profile.
+const traceBatch = 4096
+
+// InferContext is Infer with cooperative cancellation. Cancellation
+// during graph construction returns (nil, ctx.Err()) — there are no
+// annotations yet, so there is nothing partial to salvage. Once the
+// graph is built, cancellation is handled by RunContext: the returned
+// Result carries the last committed iteration's annotations with
+// Interrupted=true, and the error is nil.
+func InferContext(ctx context.Context, traces []*traceroute.Trace, resolver *ip2as.Resolver,
+	aliases *alias.Sets, rels RelationshipOracle, opts Options) (*Result, error) {
+
 	opts.setDefaults()
 	rec := opts.Recorder
 	phase := rec.Phase("construct-graph")
+	if err := ctx.Err(); err != nil {
+		phase.End()
+		return nil, err
+	}
 	b := NewBuilder(resolver, aliases)
 	b.Workers = opts.Workers
 	b.Rec = rec
 	b.PreResolve(distinctAddrs(traces))
-	for _, t := range traces {
+	for i, t := range traces {
+		if i%traceBatch == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				phase.End()
+				return nil, err
+			}
+		}
 		b.AddTrace(t)
+	}
+	if err := ctx.Err(); err != nil {
+		phase.End()
+		return nil, err
 	}
 	g := b.Finish(rels)
 	phase.End()
-	return Run(g, rels, opts)
+	return RunContext(ctx, g, rels, opts), nil
 }
 
 // distinctAddrs collects every distinct hop and destination address of

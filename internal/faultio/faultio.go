@@ -1,0 +1,183 @@
+// Package faultio wraps io.Reader with deterministic, seed-parameterized
+// faults, so loader robustness is provable rather than hoped for.
+// Traceroute archives and routing-table dumps arrive from measurement
+// infrastructure that truncates, corrupts, and interrupts files in every
+// way a disk or a transfer can; the resilient run engine's contract is
+// that every loader either recovers-and-counts or fails with a clean
+// diagnostic, and never panics or hangs. The fault matrix in this
+// package is how the test suite drives each loader through that
+// contract.
+//
+// Every fault is a pure function of its parameters (offset, seed): the
+// same wrapped input always produces the same corrupted byte stream, so
+// a failing fault case replays exactly.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error surfaced by read-error faults. Loader tests
+// assert it arrives wrapped in the loader's diagnostic rather than
+// swallowed.
+var ErrInjected = errors.New("faultio: injected read error")
+
+// rng is a tiny deterministic xorshift64* generator — the package rolls
+// its own so fault streams never depend on math/rand's global state or
+// version-to-version sequence changes.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // xorshift state must be non-zero
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Truncate returns a reader delivering only the first n bytes of r,
+// then a clean io.EOF — the shape of a file cut short by a full disk
+// or an interrupted download that still flushed whole blocks.
+func Truncate(r io.Reader, n int64) io.Reader {
+	return &faultReader{r: r, limit: n, limitErr: io.EOF}
+}
+
+// TruncateUnexpected returns a reader delivering the first n bytes of r
+// and then io.ErrUnexpectedEOF — a transfer that died mid-record, where
+// even the transport knew bytes were missing.
+func TruncateUnexpected(r io.Reader, n int64) io.Reader {
+	return &faultReader{r: r, limit: n, limitErr: io.ErrUnexpectedEOF}
+}
+
+// ErrAt returns a reader that yields r's bytes until offset n and then
+// returns err on every subsequent Read — an I/O error (bad sector,
+// stale NFS handle) surfacing mid-file. A nil err injects ErrInjected.
+func ErrAt(r io.Reader, n int64, err error) io.Reader {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &faultReader{r: r, limit: n, limitErr: err}
+}
+
+// ShortReads returns a reader delivering r's bytes unaltered but in
+// deterministic bursts of 1–7 bytes per Read call, regardless of the
+// buffer offered. Content is intact; only I/O granularity changes, so a
+// correct loader must produce byte-identical results to a clean read —
+// the property that catches code assuming one Read returns one record.
+func ShortReads(r io.Reader, seed uint64) io.Reader {
+	return &faultReader{r: r, limit: -1, short: newRNG(seed)}
+}
+
+// Garbage returns a reader that replaces n bytes of r starting at
+// offset off with deterministic pseudo-random garbage derived from
+// seed. Lengths are preserved — this is bit rot, not truncation.
+func Garbage(r io.Reader, off, n int64, seed uint64) io.Reader {
+	return &faultReader{r: r, limit: -1, garbageOff: off, garbageN: n, garbage: newRNG(seed)}
+}
+
+// faultReader implements every fault shape: an optional byte budget
+// with a configurable exhaustion error, optional short-read chopping,
+// and an optional garbage window.
+type faultReader struct {
+	r        io.Reader
+	pos      int64
+	limit    int64 // -1: unlimited
+	limitErr error // returned once pos reaches limit
+
+	short *rng // non-nil: chop reads to 1–7 bytes
+
+	garbageOff, garbageN int64
+	garbage              *rng // non-nil: overwrite the garbage window
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if f.limit >= 0 {
+		remain := f.limit - f.pos
+		if remain <= 0 {
+			return 0, f.limitErr
+		}
+		if int64(len(p)) > remain {
+			p = p[:remain]
+		}
+	}
+	if f.short != nil {
+		n := int(f.short.next()%7) + 1
+		if n < len(p) {
+			p = p[:n]
+		}
+	}
+	n, err := f.r.Read(p)
+	if f.garbage != nil && n > 0 {
+		f.corrupt(p[:n])
+	}
+	f.pos += int64(n)
+	// A clean source EOF inside a TruncateUnexpected window stays a
+	// clean EOF: the fault models the *stream* ending early, and the
+	// wrapped data ran out before the cut point.
+	return n, err
+}
+
+// corrupt overwrites the portion of buf that overlaps the garbage
+// window [garbageOff, garbageOff+garbageN). The garbage bytes are a
+// pure function of the absolute stream offset, so chunking (including
+// an outer ShortReads wrapper) never changes the corrupted content.
+func (f *faultReader) corrupt(buf []byte) {
+	for i := range buf {
+		off := f.pos + int64(i)
+		if off >= f.garbageOff && off < f.garbageOff+f.garbageN {
+			g := rng{s: f.garbage.s + uint64(off)*0x9e3779b97f4a7c15}
+			buf[i] = byte(g.next())
+		}
+	}
+}
+
+// Case is one entry of the standard fault matrix.
+type Case struct {
+	// Name identifies the fault for test output (e.g. "truncate@13").
+	Name string
+	// Wrap applies the fault to a clean reader.
+	Wrap func(io.Reader) io.Reader
+	// Corrupting reports whether the fault alters or cuts the byte
+	// stream. A loader may legitimately reject a corrupting case (with
+	// a diagnostic error) or recover-and-count; a non-corrupting case
+	// (short reads) must behave exactly like a clean read.
+	Corrupting bool
+}
+
+// Matrix builds the standard fault matrix for an input of size bytes:
+// clean truncations at the start, a third, and two-thirds of the file;
+// a mid-stream unexpected EOF; an injected read error; garbage windows
+// near the start and middle; and short reads. All faults derive from
+// seed, so the matrix is reproducible.
+func Matrix(size int64, seed uint64) []Case {
+	third, half := size/3, size/2
+	twoThirds := 2 * size / 3
+	cases := []Case{
+		{"truncate@0", func(r io.Reader) io.Reader { return Truncate(r, 0) }, true},
+		{"truncate@third", func(r io.Reader) io.Reader { return Truncate(r, third) }, true},
+		{"truncate@two-thirds", func(r io.Reader) io.Reader { return Truncate(r, twoThirds) }, true},
+		{"unexpected-eof@half", func(r io.Reader) io.Reader { return TruncateUnexpected(r, half) }, true},
+		{"read-error@third", func(r io.Reader) io.Reader { return ErrAt(r, third, nil) }, true},
+		{"garbage@start", func(r io.Reader) io.Reader { return Garbage(r, 0, min64(16, size), seed) }, true},
+		{"garbage@middle", func(r io.Reader) io.Reader { return Garbage(r, half, min64(32, size-half), seed+1) }, true},
+		{"short-reads", func(r io.Reader) io.Reader { return ShortReads(r, seed+2) }, false},
+	}
+	return cases
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTruncate(t *testing.T) {
+	data := strings.Repeat("abcdefgh", 16)
+	got, err := io.ReadAll(Truncate(strings.NewReader(data), 13))
+	if err != nil {
+		t.Fatalf("Truncate read: %v", err)
+	}
+	if string(got) != data[:13] {
+		t.Errorf("Truncate delivered %q, want %q", got, data[:13])
+	}
+}
+
+func TestTruncateUnexpected(t *testing.T) {
+	data := strings.Repeat("x", 64)
+	r := TruncateUnexpected(strings.NewReader(data), 10)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(got) != 10 {
+		t.Errorf("delivered %d bytes before the cut, want 10", len(got))
+	}
+}
+
+func TestErrAt(t *testing.T) {
+	data := strings.Repeat("x", 64)
+	got, err := io.ReadAll(ErrAt(strings.NewReader(data), 20, nil))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(got) != 20 {
+		t.Errorf("delivered %d bytes before the error, want 20", len(got))
+	}
+	// The error must persist across repeated reads (no accidental
+	// recovery).
+	r := ErrAt(strings.NewReader(data), 0, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+func TestShortReadsPreserveContent(t *testing.T) {
+	data := strings.Repeat("the quick brown fox ", 50)
+	got, err := io.ReadAll(ShortReads(strings.NewReader(data), 42))
+	if err != nil {
+		t.Fatalf("ShortReads read: %v", err)
+	}
+	if string(got) != data {
+		t.Errorf("ShortReads altered content")
+	}
+}
+
+func TestShortReadsChopsBursts(t *testing.T) {
+	r := ShortReads(strings.NewReader(strings.Repeat("x", 256)), 7)
+	buf := make([]byte, 64)
+	for {
+		n, err := r.Read(buf)
+		if n > 7 {
+			t.Fatalf("read burst of %d bytes, want <= 7", n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGarbageDeterministicAndWindowed(t *testing.T) {
+	data := []byte(strings.Repeat("abcdefgh", 32))
+	read := func(wrap func(io.Reader) io.Reader) []byte {
+		out, err := io.ReadAll(wrap(bytes.NewReader(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := read(func(r io.Reader) io.Reader { return Garbage(r, 10, 20, 99) })
+	b := read(func(r io.Reader) io.Reader { return Garbage(r, 10, 20, 99) })
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different garbage")
+	}
+	// Chunking must not change the corrupted stream: garbage is a
+	// function of absolute offset, not of read boundaries.
+	c := read(func(r io.Reader) io.Reader { return ShortReads(Garbage(r, 10, 20, 99), 5) })
+	if !bytes.Equal(a, c) {
+		t.Error("short reads changed the garbage stream")
+	}
+	if len(a) != len(data) {
+		t.Fatalf("garbage changed length: %d != %d", len(a), len(data))
+	}
+	if !bytes.Equal(a[:10], data[:10]) || !bytes.Equal(a[30:], data[30:]) {
+		t.Error("garbage leaked outside its window")
+	}
+	if bytes.Equal(a[10:30], data[10:30]) {
+		t.Error("garbage window left content unaltered")
+	}
+	d := read(func(r io.Reader) io.Reader { return Garbage(r, 10, 20, 100) })
+	if bytes.Equal(a, d) {
+		t.Error("different seeds produced identical garbage")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	cases := Matrix(300, 1)
+	if len(cases) == 0 {
+		t.Fatal("empty matrix")
+	}
+	seen := make(map[string]bool)
+	nonCorrupting := 0
+	for _, c := range cases {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if !c.Corrupting {
+			nonCorrupting++
+			// Non-corrupting faults must preserve the byte stream.
+			data := strings.Repeat("z", 300)
+			got, err := io.ReadAll(c.Wrap(strings.NewReader(data)))
+			if err != nil || string(got) != data {
+				t.Errorf("%s: non-corrupting case altered the stream (err=%v)", c.Name, err)
+			}
+		}
+	}
+	if nonCorrupting == 0 {
+		t.Error("matrix has no non-corrupting case; the identical-results property goes untested")
+	}
+}

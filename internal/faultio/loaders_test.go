@@ -1,0 +1,239 @@
+package faultio_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/bgp"
+	"repro/internal/faultio"
+	"repro/internal/itdk"
+	"repro/internal/ixp"
+	"repro/internal/mrt"
+	"repro/internal/pfx2as"
+	"repro/internal/rir"
+	"repro/internal/traceroute"
+)
+
+// loaderCase names one loader entry point with a valid seed input and a
+// summary function. The fault matrix asserts that for every injected
+// fault the loader terminates without panicking, and that the
+// non-corrupting cases reproduce the clean run exactly.
+type loaderCase struct {
+	name string
+	seed []byte
+	load func(io.Reader) (summary string, err error)
+}
+
+func traceSeed(t *testing.T, binary bool) []byte {
+	t.Helper()
+	traces := []*traceroute.Trace{
+		{VP: "vp1", Dst: netip.MustParseAddr("2.0.0.91"), Stop: traceroute.StopCompleted, Hops: []traceroute.Hop{
+			{Addr: netip.MustParseAddr("1.0.0.1"), ProbeTTL: 1, Reply: traceroute.TimeExceeded},
+			{Addr: netip.MustParseAddr("2.0.0.1"), ProbeTTL: 2, Reply: traceroute.TimeExceeded},
+			{Addr: netip.MustParseAddr("2.0.0.91"), ProbeTTL: 3, Reply: traceroute.EchoReply},
+		}},
+		{VP: "vp2", Dst: netip.MustParseAddr("3.0.0.9"), Stop: traceroute.StopGapLimit, Hops: []traceroute.Hop{
+			{Addr: netip.MustParseAddr("1.0.0.2"), ProbeTTL: 1, Reply: traceroute.TimeExceeded},
+			{Addr: netip.MustParseAddr("9.9.9.1"), ProbeTTL: 2, Reply: traceroute.TimeExceeded},
+		}},
+	}
+	var buf bytes.Buffer
+	if binary {
+		w := traceroute.NewBinaryWriter(&buf)
+		for _, tr := range traces {
+			if err := w.Write(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		w := traceroute.NewJSONLWriter(&buf)
+		for _, tr := range traces {
+			if err := w.Write(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func routeSeed(t *testing.T) []bgp.Route {
+	t.Helper()
+	var routes []bgp.Route
+	for i, line := range []string{"3356 15169", "64496 64500", "174 3356 13335"} {
+		path, err := bgp.ParsePath(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes = append(routes, bgp.Route{
+			Prefix: netip.MustParsePrefix(fmt.Sprintf("%d.0.0.0/8", 8+i)),
+			Path:   path,
+		})
+	}
+	return routes
+}
+
+func loaderCases(t *testing.T) []loaderCase {
+	t.Helper()
+	var mrtBuf bytes.Buffer
+	if err := mrt.Write(&mrtBuf, routeSeed(t)); err != nil {
+		t.Fatal(err)
+	}
+	var bgpBuf bytes.Buffer
+	if err := bgp.WriteRoutes(&bgpBuf, routeSeed(t)); err != nil {
+		t.Fatal(err)
+	}
+	rirSeed := strings.Repeat(
+		"arin|US|asn|64496|1|20100101|assigned|org-a\n"+
+			"arin|US|ipv4|192.0.2.0|256|20100101|assigned|org-a\n"+
+			"ripencc|NL|ipv6|2001:db8::|32|20120101|assigned|org-b\n", 4)
+	return []loaderCase{
+		{"traceroute-jsonl", traceSeed(t, false), func(r io.Reader) (string, error) {
+			n := 0
+			stats, err := traceroute.ReadJSONLStats(r, func(*traceroute.Trace) error { n++; return nil })
+			return fmt.Sprintf("traces=%d dropped=%d", n, stats.DroppedHops), err
+		}},
+		{"traceroute-binary", traceSeed(t, true), func(r io.Reader) (string, error) {
+			n := 0
+			err := traceroute.ReadBinary(r, func(*traceroute.Trace) error { n++; return nil })
+			return fmt.Sprintf("traces=%d", n), err
+		}},
+		{"bgp", bgpBuf.Bytes(), func(r io.Reader) (string, error) {
+			routes, stats, err := bgp.ReadRoutesStats(r)
+			return fmt.Sprintf("routes=%d skipped=%d", len(routes), stats.SkippedLines), err
+		}},
+		{"mrt", mrtBuf.Bytes(), func(r io.Reader) (string, error) {
+			routes, err := mrt.Read(r)
+			return fmt.Sprintf("routes=%d", len(routes)), err
+		}},
+		{"pfx2as", []byte("8.0.0.0\t8\t3356\n9.0.0.0\t8\t64496_64500\n10.0.0.0\t16\t174,3356\n"), func(r io.Reader) (string, error) {
+			entries, err := pfx2as.Read(r)
+			return fmt.Sprintf("entries=%d", len(entries)), err
+		}},
+		{"rir", []byte(rirSeed), func(r io.Reader) (string, error) {
+			d, err := rir.Read(r)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("prefixes=%d", d.NumPrefixes()), nil
+		}},
+		{"ixp-list", []byte("# peering LANs\n193.0.0.0/24\n11.0.0.0/24\n2001:7f8::/32\n"), func(r io.Reader) (string, error) {
+			s := ixp.NewSet()
+			stats, err := s.ReadListStats(r)
+			return fmt.Sprintf("prefixes=%d skipped=%d", stats.Prefixes, stats.SkippedLines), err
+		}},
+		{"ixp-json", []byte(`{"prefixes": ["193.0.0.0/24", "11.0.0.0/24"]}`), func(r io.Reader) (string, error) {
+			s := ixp.NewSet()
+			err := s.ReadJSON(r)
+			return fmt.Sprintf("prefixes=%d", s.Len()), err
+		}},
+		{"ixp-csv", []byte("name,prefix\nAMS-IX,193.0.0.0/24\nDE-CIX,11.0.0.0/24\n"), func(r io.Reader) (string, error) {
+			s := ixp.NewSet()
+			err := s.ReadCSV(r)
+			return fmt.Sprintf("prefixes=%d", s.Len()), err
+		}},
+		{"alias", []byte("node N1:  1.2.3.4 5.6.7.8\nnode N2:  9.9.9.9 10.0.0.1 10.0.0.2\n"), func(r io.Reader) (string, error) {
+			s, err := alias.ReadNodes(r)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("groups=%d addrs=%d", s.NumGroups(), s.NumAddrs()), nil
+		}},
+		{"itdk-nodes", []byte("# kit\nnode N1:  1.2.3.4 5.6.7.8\nnode N2:  9.9.9.9\n"), func(r io.Reader) (string, error) {
+			nodes, err := itdk.ReadNodes(r)
+			return fmt.Sprintf("nodes=%d", len(nodes)), err
+		}},
+		{"itdk-links", []byte("link L1:  N1:1.2.3.4 N2\nlink L2:  N2:9.9.9.9 N1:5.6.7.8\n"), func(r io.Reader) (string, error) {
+			links, err := itdk.ReadLinks(r)
+			return fmt.Sprintf("links=%d", len(links)), err
+		}},
+	}
+}
+
+// runBounded invokes load under a watchdog so a fault-induced infinite
+// loop fails the test instead of hanging the suite.
+func runBounded(t *testing.T, lc loaderCase, r io.Reader) (string, error) {
+	t.Helper()
+	type outcome struct {
+		summary string
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		s, err := lc.load(r)
+		done <- outcome{s, err}
+	}()
+	select {
+	case o := <-done:
+		return o.summary, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: loader hung on faulted input", lc.name)
+		return "", nil
+	}
+}
+
+// TestLoaderFaultMatrix drives every loader through the standard fault
+// matrix: no panic, no hang, and for non-corrupting faults (short
+// reads) byte-identical results to the clean run. Corrupting faults may
+// either recover (err == nil, counters tell the story) or fail — but a
+// failure must be a descriptive error, not a panic.
+func TestLoaderFaultMatrix(t *testing.T) {
+	for _, lc := range loaderCases(t) {
+		lc := lc
+		t.Run(lc.name, func(t *testing.T) {
+			clean, err := lc.load(bytes.NewReader(lc.seed))
+			if err != nil {
+				t.Fatalf("clean seed input must load: %v", err)
+			}
+			for _, fc := range faultio.Matrix(int64(len(lc.seed)), 0xbd12) {
+				fc := fc
+				t.Run(fc.Name, func(t *testing.T) {
+					summary, err := runBounded(t, lc, fc.Wrap(bytes.NewReader(lc.seed)))
+					if !fc.Corrupting {
+						if err != nil {
+							t.Fatalf("non-corrupting fault must load cleanly, got: %v", err)
+						}
+						if summary != clean {
+							t.Fatalf("non-corrupting fault changed the result: %q != %q", summary, clean)
+						}
+						return
+					}
+					if err != nil && strings.TrimSpace(err.Error()) == "" {
+						t.Fatalf("corrupting fault produced an empty diagnostic")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestLoaderFaultMatrixInjectedErrorSurfaces asserts a mid-stream read
+// error is not swallowed into a silently-short result for the
+// stream-shaped loaders: the loader must fail, and the diagnostic chain
+// must retain the injected error.
+func TestLoaderFaultMatrixInjectedErrorSurfaces(t *testing.T) {
+	for _, lc := range loaderCases(t) {
+		lc := lc
+		if len(lc.seed) < 3 {
+			continue
+		}
+		t.Run(lc.name, func(t *testing.T) {
+			r := faultio.ErrAt(bytes.NewReader(lc.seed), int64(len(lc.seed))-1, nil)
+			_, err := runBounded(t, lc, r)
+			if err == nil {
+				t.Fatalf("read error at byte %d swallowed: loader reported success", len(lc.seed)-1)
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package itdk
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// FuzzRead asserts the three ITDK record parsers never panic, and that
+// accepted records carry structurally valid fields. The seed corpus
+// runs a valid document of each format through the faultio matrix so
+// the fuzzer starts from truncated, corrupted, and garbled variants.
+func FuzzRead(f *testing.F) {
+	docs := []string{
+		"# nodes\nnode N1:  192.0.2.1 192.0.2.2\nnode N2:  198.51.100.1\n",
+		"node.AS N1 64496 bdrmapit\nnode.AS N2 64497 bdrmapit\n",
+		"link L1:  N1:192.0.2.1 N2\nlink L2:  N2:198.51.100.1 N1:192.0.2.2\n",
+	}
+	for _, doc := range docs {
+		f.Add(doc)
+		for _, c := range faultio.Matrix(int64(len(doc)), 17) {
+			faulted, _ := io.ReadAll(c.Wrap(strings.NewReader(doc)))
+			f.Add(string(faulted))
+		}
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		if nodes, err := ReadNodes(strings.NewReader(in)); err == nil {
+			for _, n := range nodes {
+				for _, a := range n.Addrs {
+					if !a.IsValid() {
+						t.Fatalf("node N%d carries invalid address", n.ID)
+					}
+				}
+			}
+		}
+		_, _ = ReadNodesAS(strings.NewReader(in))
+		_, _ = ReadLinks(strings.NewReader(in))
+	})
+}

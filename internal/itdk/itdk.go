@@ -60,14 +60,23 @@ type Kit struct {
 	Nodes       []Node
 	Assignments []Assignment
 	Links       []Link
+	// Interrupted marks a kit materialized from a cancelled run: the
+	// assignments are a partial (non-converged) result. Writers append a
+	// PARTIAL comment footer so downstream consumers can tell; readers
+	// skip comments, so the marker never breaks round-trips.
+	Interrupted bool
 }
+
+// partialFooter is the comment line appended to every file of an
+// interrupted kit.
+const partialFooter = "# PARTIAL: run interrupted before convergence; annotations are the last committed refinement iteration"
 
 // FromResult converts a bdrmapIT inference result into ITDK form:
 // every inferred router becomes a node, its annotation becomes the AS
 // assignment (method "bdrmapit"), and every graph link becomes an ITDK
 // link pinned to the observed far interface.
 func FromResult(res *core.Result) *Kit {
-	k := &Kit{}
+	k := &Kit{Interrupted: res.Interrupted}
 	routerNode := make(map[*core.Router]int, len(res.Graph.Routers))
 	for _, r := range res.Graph.Routers {
 		id := r.ID + 1 // ITDK node ids are 1-based
@@ -112,6 +121,17 @@ func (k *Kit) WriteNodes(w io.Writer) error {
 			return err
 		}
 	}
+	return k.finish(bw)
+}
+
+// finish appends the PARTIAL footer when the kit is interrupted, then
+// flushes.
+func (k *Kit) finish(bw *bufio.Writer) error {
+	if k.Interrupted {
+		if _, err := fmt.Fprintln(bw, partialFooter); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -125,7 +145,7 @@ func (k *Kit) WriteNodesAS(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return k.finish(bw)
 }
 
 // WriteLinks writes the .links file.
@@ -138,7 +158,7 @@ func (k *Kit) WriteLinks(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return k.finish(bw)
 }
 
 func (e Endpoint) format() string {

@@ -1,0 +1,49 @@
+package ixp
+
+import (
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// FuzzRead asserts that none of the three IXP readers (prefix list,
+// PeeringDB-style JSON, CSV) panic, and that every accepted input
+// yields only valid, masked prefixes. The seed corpus runs a valid
+// document of each format through the faultio matrix so the fuzzer
+// starts from truncated, corrupted, and garbled variants of real
+// inputs.
+func FuzzRead(f *testing.F) {
+	docs := []string{
+		"198.32.160.0/24\n2001:7f8::/32\n# comment\n",
+		`{"prefixes":[{"prefix":"198.32.160.0/24"},{"prefix":"2001:7f8::/32"}]}`,
+		"id,prefix\n1,198.32.160.0/24\n2,2001:7f8::/32\n",
+	}
+	for _, doc := range docs {
+		f.Add(doc)
+		for _, c := range faultio.Matrix(int64(len(doc)), 11) {
+			faulted, _ := io.ReadAll(c.Wrap(strings.NewReader(doc)))
+			f.Add(string(faulted))
+		}
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		for _, read := range []func(*Set, io.Reader) error{
+			func(s *Set, r io.Reader) error { _, err := s.ReadListStats(r); return err },
+			(*Set).ReadJSON,
+			(*Set).ReadCSV,
+		} {
+			s := NewSet()
+			if err := read(s, strings.NewReader(in)); err != nil {
+				continue
+			}
+			s.Walk(func(p netip.Prefix) bool {
+				if !p.IsValid() || p != p.Masked() {
+					t.Fatalf("invalid or unmasked prefix indexed: %v", p)
+				}
+				return true
+			})
+		}
+	})
+}

@@ -23,11 +23,28 @@ var Noclock = &Analyzer{
 	Run: runNoclock,
 }
 
+// allowedPkgs are packages explicitly carved out of the ban even though
+// they sit near the nondeterminism boundary. The context package is
+// permitted: cancellation is threaded through the core so a run can stop
+// at a batch boundary, and checking ctx.Err() at those boundaries is
+// deterministic for any fixed cancellation point — the engine commits
+// whole iterations, so the result is always identical to some capped
+// run. Timer-driven waiting, by contrast, stays banned via bannedFuncs.
+var allowedPkgs = map[string]bool{
+	"context": true,
+}
+
 // bannedFuncs maps package path -> function names whose use makes an
-// inference depend on when or where the run happened.
+// inference depend on when or where the run happened. Beyond clock
+// reads, the time package's timer constructors are banned too: a core
+// that sleeps or waits on timers couples its output to scheduling.
 var bannedFuncs = map[string]map[string]bool{
-	"time": {"Now": true, "Since": true, "Until": true},
-	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Sleep": true, "After": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	},
+	"os": {"Getenv": true, "LookupEnv": true, "Environ": true},
 }
 
 // bannedImports are packages whose every use is nondeterministic.
@@ -54,6 +71,9 @@ func runNoclock(p *Pass) {
 			}
 			obj := p.Pkg.Info.Uses[sel.Sel]
 			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if allowedPkgs[obj.Pkg().Path()] {
 				return true
 			}
 			if names, ok := bannedFuncs[obj.Pkg().Path()]; ok && names[obj.Name()] {

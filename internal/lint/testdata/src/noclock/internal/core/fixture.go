@@ -3,6 +3,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"time"
@@ -30,4 +31,19 @@ func Jitter() int {
 // Elapsed measures a duration: flagged (time.Since).
 func Elapsed(start time.Time) time.Duration {
 	return time.Since(start)
+}
+
+// Cancelled plumbs cancellation through the core: context is an
+// allowed package, so none of these are flagged.
+func Cancelled(ctx context.Context) bool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err() != nil
+}
+
+// Pace waits on timers: flagged (time.Sleep, time.After).
+func Pace() {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
 }

@@ -95,11 +95,17 @@ func parsePeerIndex(b []byte) ([]peer, error) {
 	for i := 0; i < count; i++ {
 		pt := cur.u8()
 		cur.skip(4) // peer BGP ID
+		// Take the address bytes before converting: a truncated body
+		// yields a short slice, and the array conversion would panic.
 		var ip netip.Addr
 		if pt&0x01 != 0 {
-			ip = netip.AddrFrom16([16]byte(cur.bytes(16)))
+			if b := cur.bytes(16); cur.err == nil {
+				ip = netip.AddrFrom16([16]byte(b))
+			}
 		} else {
-			ip = netip.AddrFrom4([4]byte(cur.bytes(4)))
+			if b := cur.bytes(4); cur.err == nil {
+				ip = netip.AddrFrom4([4]byte(b))
+			}
 		}
 		var as asn.ASN
 		if pt&0x02 != 0 {

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Degradation records one input source that failed to load and the
+// documented fallback the run continued with. The pipeline degrades
+// rather than aborts for optional sources — §7.4 shows accuracy is
+// nearly unchanged without alias resolution, and relationships can be
+// inferred from RIB AS paths — but every degradation must be visible in
+// the Report, or a silently impoverished run is indistinguishable from
+// a full one.
+type Degradation struct {
+	// Class is the source class that degraded (e.g. "alias", "ixp",
+	// "rir", "relationships", "prefix2as").
+	Class string `json:"class"`
+	// Path is the offending file, when the failure is tied to one.
+	Path string `json:"path,omitempty"`
+	// Fallback describes what the run used instead.
+	Fallback string `json:"fallback"`
+	// Error is the underlying load error's text.
+	Error string `json:"error,omitempty"`
+}
+
+// String renders the degradation as one warning-shaped line.
+func (d Degradation) String() string {
+	s := fmt.Sprintf("%s source degraded", d.Class)
+	if d.Path != "" {
+		s += fmt.Sprintf(" (%s)", d.Path)
+	}
+	if d.Error != "" {
+		s += ": " + d.Error
+	}
+	s += "; falling back to " + d.Fallback
+	return s
+}
+
+// Degrade records that an input source degraded to its fallback. The
+// entry is kept for the Report and written to the log output when set.
+func (r *Recorder) Degrade(d Degradation) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.degradations = append(r.degradations, d)
+	w := r.logw
+	r.mu.Unlock()
+	if w != nil {
+		fmt.Fprintf(w, "[%8s] degraded: %s\n", time.Since(r.start).Round(time.Millisecond), d)
+	}
+}
+
+// Degradations returns a copy of the recorded degradations.
+func (r *Recorder) Degradations() []Degradation {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Degradation(nil), r.degradations...)
+}
+
+// MarkInterrupted marks the run as cancelled before completion, so the
+// Report distinguishes a partial result from a converged one.
+func (r *Recorder) MarkInterrupted() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.interrupted = true
+	r.mu.Unlock()
+}
+
+// Interrupted reports whether MarkInterrupted was called.
+func (r *Recorder) Interrupted() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.interrupted
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDegradeRecordsAndLogs(t *testing.T) {
+	rec := New()
+	var buf bytes.Buffer
+	rec.SetLogOutput(&buf)
+	d := Degradation{
+		Class:    "alias",
+		Path:     "/data/aliases.nodes",
+		Fallback: "treating each interface as its own router",
+		Error:    "open /data/aliases.nodes: no such file or directory",
+	}
+	rec.Degrade(d)
+
+	got := rec.Degradations()
+	if len(got) != 1 || got[0] != d {
+		t.Fatalf("Degradations() = %+v, want [%+v]", got, d)
+	}
+	s := d.String()
+	for _, want := range []string{"alias source degraded", "/data/aliases.nodes", "falling back to"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Degradation.String() = %q, missing %q", s, want)
+		}
+	}
+	if !strings.Contains(buf.String(), "degraded") {
+		t.Errorf("log output missing degradation line: %q", buf.String())
+	}
+}
+
+func TestMarkInterrupted(t *testing.T) {
+	rec := New()
+	if rec.Interrupted() {
+		t.Fatal("fresh recorder already interrupted")
+	}
+	rec.MarkInterrupted()
+	if !rec.Interrupted() {
+		t.Fatal("MarkInterrupted did not stick")
+	}
+	if !rec.Report().Interrupted {
+		t.Error("Report().Interrupted = false after MarkInterrupted")
+	}
+}
+
+// TestDegradeNilRecorder: the nil-recorder contract extends to the new
+// methods — inert but safe.
+func TestDegradeNilRecorder(t *testing.T) {
+	var rec *Recorder
+	rec.Degrade(Degradation{Class: "alias"})
+	rec.MarkInterrupted()
+	if rec.Interrupted() || len(rec.Degradations()) != 0 {
+		t.Error("nil recorder retained degradation state")
+	}
+	rep := rec.Report()
+	if rep.Interrupted || len(rep.Degradations) != 0 {
+		t.Errorf("nil recorder report carries degradation state: %+v", rep)
+	}
+}
+
+func TestReportDegradationsJSONRoundTrip(t *testing.T) {
+	rec := New()
+	rec.Degrade(Degradation{Class: "ixp", Path: "/x", Fallback: "no IXP detection", Error: "boom"})
+	rec.MarkInterrupted()
+	data, err := json.Marshal(rec.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Interrupted {
+		t.Error("Interrupted lost in round trip")
+	}
+	if len(back.Degradations) != 1 || back.Degradations[0].Class != "ixp" {
+		t.Errorf("Degradations lost in round trip: %+v", back.Degradations)
+	}
+}
+
+// TestWriteSummaryDegradedInterrupted: the human-readable summary
+// surfaces both the interruption banner and the degraded-sources block.
+func TestWriteSummaryDegradedInterrupted(t *testing.T) {
+	rec := New()
+	ph := rec.Phase("load-inputs")
+	ph.End()
+	rec.Degrade(Degradation{Class: "rir", Path: "/d/delegated", Fallback: "no RIR delegations", Error: "short read"})
+	rec.MarkInterrupted()
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, rec.Report())
+	out := buf.String()
+	for _, want := range []string{"INTERRUPTED", "degraded sources:", "rir source degraded", "/d/delegated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// A clean report renders neither block.
+	var clean bytes.Buffer
+	WriteSummary(&clean, New().Report())
+	for _, absent := range []string{"INTERRUPTED", "degraded sources:"} {
+		if strings.Contains(clean.String(), absent) {
+			t.Errorf("clean summary contains %q:\n%s", absent, clean.String())
+		}
+	}
+}

@@ -204,15 +204,17 @@ func (s *Span) End() {
 type Recorder struct {
 	start time.Time
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	series   map[string]*Series
-	roots    []*Span
-	stack    []*Span
-	warnings []string
-	logw     io.Writer
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	series       map[string]*Series
+	roots        []*Span
+	stack        []*Span
+	warnings     []string
+	degradations []Degradation
+	interrupted  bool
+	logw         io.Writer
 }
 
 // New returns an enabled Recorder.

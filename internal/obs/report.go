@@ -26,6 +26,12 @@ type Report struct {
 	Histograms map[string]HistogramReport `json:"histograms,omitempty"`
 	Series     map[string][]Row           `json:"series,omitempty"`
 	Warnings   []string                   `json:"warnings,omitempty"`
+	// Degradations lists the optional input sources that failed to load
+	// and the documented fallbacks the run continued with.
+	Degradations []Degradation `json:"degradations,omitempty"`
+	// Interrupted reports that the run was cancelled and the results are
+	// the last committed iteration's partial annotations.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // PhaseReport is one node of the phase tree.
@@ -103,6 +109,10 @@ func (r *Recorder) Report() *Report {
 	if len(r.warnings) > 0 {
 		rep.Warnings = append([]string(nil), r.warnings...)
 	}
+	if len(r.degradations) > 0 {
+		rep.Degradations = append([]Degradation(nil), r.degradations...)
+	}
+	rep.Interrupted = r.interrupted
 	for _, s := range r.roots {
 		rep.Phases = append(rep.Phases, snapshotSpan(s, now))
 	}
@@ -190,6 +200,9 @@ func WriteSummary(w io.Writer, rep *Report) {
 		fmt.Fprintf(w, "   peak rss %s", FormatBytes(rep.PeakRSSBytes))
 	}
 	fmt.Fprintln(w)
+	if rep.Interrupted {
+		fmt.Fprintf(w, "\nINTERRUPTED: the run was cancelled; results are the last committed iteration's partial annotations\n")
+	}
 	if len(rep.Phases) > 0 {
 		fmt.Fprintf(w, "\n%-42s %12s  %s\n", "phase", "duration", "notes")
 		for _, p := range rep.Phases {
@@ -212,6 +225,12 @@ func WriteSummary(w io.Writer, rep *Report) {
 		for _, row := range trace {
 			fmt.Fprintf(w, "  %5d %16d %16d %12d\n",
 				row["iteration"], row["routers_changed"], row["interfaces_changed"], row["votes_cast"])
+		}
+	}
+	if len(rep.Degradations) > 0 {
+		fmt.Fprintf(w, "\ndegraded sources:\n")
+		for _, d := range rep.Degradations {
+			fmt.Fprintf(w, "  %s\n", d)
 		}
 	}
 	if len(rep.Warnings) > 0 {

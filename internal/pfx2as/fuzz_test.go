@@ -1,0 +1,50 @@
+package pfx2as
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/faultio"
+)
+
+// FuzzRead asserts the prefix2as parser never panics, that every
+// accepted entry is valid and longest-prefix matchable, and that
+// accepted inputs survive a write/read round trip. The seed corpus runs
+// a valid file through the faultio matrix so the fuzzer starts from
+// truncated, corrupted, and garbled variants.
+func FuzzRead(f *testing.F) {
+	doc := "192.0.2.0\t24\t64496\n198.51.100.0\t24\t64497_64498\n2001:db8::\t32\t64499,64500\n# comment\n"
+	f.Add(doc)
+	for _, c := range faultio.Matrix(int64(len(doc)), 13) {
+		faulted, _ := io.ReadAll(c.Wrap(strings.NewReader(doc)))
+		f.Add(string(faulted))
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		entries, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if !e.Prefix.IsValid() {
+				t.Fatalf("invalid prefix parsed: %v", e.Prefix)
+			}
+			if len(e.Origins) == 0 {
+				t.Fatalf("entry %v has no origins", e.Prefix)
+			}
+		}
+		NewTable(entries) // must index without panicking
+		var buf bytes.Buffer
+		if err := Write(&buf, entries); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reread own output: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("round trip lost entries: %d != %d", len(back), len(entries))
+		}
+	})
+}

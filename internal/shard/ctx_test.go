@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCtxRunsWholeBatch(t *testing.T) {
+	const n = 503
+	var visited int32
+	ok := ForCtx(context.Background(), n, 4, func(lo, hi int) {
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	if !ok {
+		t.Fatal("ForCtx returned false on a live context")
+	}
+	if visited != n {
+		t.Fatalf("visited %d indexes, want %d", visited, n)
+	}
+}
+
+func TestForCtxCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	if ForCtx(ctx, 100, 4, func(lo, hi int) { called = true }) {
+		t.Error("ForCtx returned true on a cancelled context")
+	}
+	if called {
+		t.Error("ForCtx ran shards on a cancelled context")
+	}
+}
+
+func TestForShardsTimedCtxAllOrNothing(t *testing.T) {
+	var visited int32
+	ok := ForShardsTimedCtx(context.Background(), 64, 4, func(_, lo, hi int) {
+		atomic.AddInt32(&visited, int32(hi-lo))
+	}, nil)
+	if !ok || visited != 64 {
+		t.Fatalf("live context: ok=%v visited=%d, want true/64", ok, visited)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	visited = 0
+	ok = ForShardsTimedCtx(ctx, 64, 4, func(_, lo, hi int) {
+		atomic.AddInt32(&visited, int32(hi-lo))
+	}, nil)
+	if ok || visited != 0 {
+		t.Fatalf("cancelled context: ok=%v visited=%d, want false/0", ok, visited)
+	}
+}
+
+// TestForCtxCancelMidBatchStillCompletes pins the batch-boundary
+// contract: a cancellation arriving while shards are running does not
+// abort them — the batch completes in full, so partial state can never
+// be a function of cancellation timing within a batch.
+func TestForCtxCancelMidBatchStillCompletes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 64
+	var visited int32
+	started := make(chan struct{})
+	var once atomic.Bool
+	ok := ForCtx(ctx, n, 4, func(lo, hi int) {
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		<-started // every shard waits until one has started
+		cancel()  // cancel mid-batch
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	if !ok {
+		t.Fatal("ForCtx returned false although the batch started")
+	}
+	if visited != n {
+		t.Fatalf("mid-batch cancel lost work: visited %d of %d", visited, n)
+	}
+}

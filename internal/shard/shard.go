@@ -9,6 +9,7 @@
 package shard
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -75,6 +76,30 @@ func ForShardsTimed(n, workers int, fn func(shard, lo, hi int), timing func(shar
 		fn(s, lo, hi)
 		timing(s, time.Since(start)) //lint:ignore noclock see above: telemetry-only clock read
 	})
+}
+
+// ForCtx is For gated on ctx: when ctx is already cancelled nothing
+// runs and ForCtx returns false; otherwise the full batch runs to
+// completion and ForCtx returns true. Cancellation is only ever
+// observed at batch boundaries — never mid-shard — so a batch either
+// happens entirely or not at all, and a cancelled run's state is always
+// some prefix of the batch sequence regardless of worker count.
+func ForCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	For(n, workers, fn)
+	return true
+}
+
+// ForShardsTimedCtx is ForShardsTimed with the ForCtx batch-boundary
+// cancellation contract: false means ctx was cancelled and nothing ran.
+func ForShardsTimedCtx(ctx context.Context, n, workers int, fn func(shard, lo, hi int), timing func(shard int, d time.Duration)) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	ForShardsTimed(n, workers, fn, timing)
+	return true
 }
 
 // ForShards is For with the shard index passed through, so callers can

@@ -75,8 +75,12 @@ func Generate(cfg Config) (*Internet, error) {
 	in.makeRelationships()
 	in.makeIXPs()
 	in.assignAddressSpace()
-	in.makeRouters()
-	in.makeInterdomainLinks()
+	if err := in.makeRouters(); err != nil {
+		return nil, err
+	}
+	if err := in.makeInterdomainLinks(); err != nil {
+		return nil, err
+	}
 	in.assignBehaviours()
 	in.initRouting()
 	in.export()
@@ -407,15 +411,19 @@ func coreCount(t ASType, hidden bool) int {
 
 // makeRouters creates each AS's core chain, host device, and the
 // internal links between them.
-func (in *Internet) makeRouters() {
+func (in *Internet) makeRouters() error {
 	for _, a := range in.ASList {
 		n := coreCount(a.Type, a.Hidden)
 		for c := 0; c < n; c++ {
 			r := in.newRouter(a)
-			in.addIface(r, a.nextLoopback())
+			if _, err := in.addIface(r, a.nextLoopback()); err != nil {
+				return err
+			}
 			a.Cores = append(a.Cores, r)
 			if c > 0 {
-				in.linkRouters(a.Cores[c-1], r, a)
+				if err := in.linkRouters(a.Cores[c-1], r, a); err != nil {
+					return err
+				}
 			}
 		}
 		// Host device: carries the probe-target addresses, attached to
@@ -423,36 +431,48 @@ func (in *Internet) makeRouters() {
 		h := in.newRouter(a)
 		h.IsHost = true
 		for _, addr := range a.Hosts {
-			in.addIface(h, addr)
+			if _, err := in.addIface(h, addr); err != nil {
+				return err
+			}
 		}
 		a.Host = h
-		in.linkRouters(a.Cores[len(a.Cores)-1], h, a)
+		if err := in.linkRouters(a.Cores[len(a.Cores)-1], h, a); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // linkRouters creates an internal point-to-point link between two
 // routers of AS a, numbered from a's pool.
-func (in *Internet) linkRouters(r1, r2 *Router, a *AS) {
+func (in *Internet) linkRouters(r1, r2 *Router, a *AS) error {
 	net := a.nextLinkNetwork()
-	i1 := in.addIface(r1, netutil.NthAddr(net, 1))
-	i2 := in.addIface(r2, netutil.NthAddr(net, 2))
+	i1, err := in.addIface(r1, netutil.NthAddr(net, 1))
+	if err != nil {
+		return err
+	}
+	i2, err := in.addIface(r2, netutil.NthAddr(net, 2))
+	if err != nil {
+		return err
+	}
 	i1.Peer, i2.Peer = i2, i1
 	r1.connect(r2, i1)
 	r2.connect(r1, i2)
+	return nil
 }
 
 // borderRouterFor returns (creating if needed) the border router of AS a
 // facing neighbour nbr. Border routers aggregate up to four adjacencies
 // and connect to a home core router.
-func (in *Internet) borderRouterFor(a *AS, nbr asn.ASN) *Router {
+func (in *Internet) borderRouterFor(a *AS, nbr asn.ASN) (*Router, error) {
 	if r, ok := a.Borders[nbr]; ok {
-		return r
+		return r, nil
 	}
 	if a.Hidden || a.Type == Stub {
 		// Single-router edge: the lone core handles all adjacencies.
 		r := a.Cores[0]
 		a.Borders[nbr] = r
-		return r
+		return r, nil
 	}
 	var r *Router
 	if len(a.borderList) > 0 && a.borderLoad[len(a.borderList)-1] < 4 {
@@ -460,14 +480,18 @@ func (in *Internet) borderRouterFor(a *AS, nbr asn.ASN) *Router {
 		a.borderLoad[len(a.borderList)-1]++
 	} else {
 		r = in.newRouter(a)
-		in.addIface(r, a.nextLoopback())
+		if _, err := in.addIface(r, a.nextLoopback()); err != nil {
+			return nil, err
+		}
 		home := a.Cores[len(a.borderList)%len(a.Cores)]
-		in.linkRouters(home, r, a)
+		if err := in.linkRouters(home, r, a); err != nil {
+			return nil, err
+		}
 		a.borderList = append(a.borderList, r)
 		a.borderLoad = append(a.borderLoad, 1)
 	}
 	a.Borders[nbr] = r
-	return r
+	return r, nil
 }
 
 // makeInterdomainLinks realizes every relationship edge as addressed
@@ -475,7 +499,7 @@ func (in *Internet) borderRouterFor(a *AS, nbr asn.ASN) *Router {
 // from the provider (usually), private peering from the lower ASN, IXP
 // peering from the exchange LAN. Hidden-transit ASes always defer to
 // the neighbour's space.
-func (in *Internet) makeInterdomainLinks() {
+func (in *Internet) makeInterdomainLinks() error {
 	keys := make([][2]asn.ASN, 0, len(in.edges))
 	for k := range in.edges {
 		keys = append(keys, k)
@@ -488,11 +512,21 @@ func (in *Internet) makeInterdomainLinks() {
 	})
 	for _, k := range keys {
 		e := in.edges[k]
-		ra := in.borderRouterFor(e.A, e.B.ASN)
-		rb := in.borderRouterFor(e.B, e.A.ASN)
+		ra, err := in.borderRouterFor(e.A, e.B.ASN)
+		if err != nil {
+			return err
+		}
+		rb, err := in.borderRouterFor(e.B, e.A.ASN)
+		if err != nil {
+			return err
+		}
 		if e.IXP != nil {
-			e.AIface = e.IXP.port(in, ra, e.A)
-			e.BIface = e.IXP.port(in, rb, e.B)
+			if e.AIface, err = e.IXP.port(in, ra, e.A); err != nil {
+				return err
+			}
+			if e.BIface, err = e.IXP.port(in, rb, e.B); err != nil {
+				return err
+			}
 			ra.connect(rb, e.AIface)
 			rb.connect(ra, e.BIface)
 			continue
@@ -500,13 +534,20 @@ func (in *Internet) makeInterdomainLinks() {
 		// Choose the addressing side.
 		owner := in.linkAddressOwner(e)
 		net := owner.nextLinkNetwork()
-		ia := in.addIface(ra, netutil.NthAddr(net, 1))
-		ib := in.addIface(rb, netutil.NthAddr(net, 2))
+		ia, err := in.addIface(ra, netutil.NthAddr(net, 1))
+		if err != nil {
+			return err
+		}
+		ib, err := in.addIface(rb, netutil.NthAddr(net, 2))
+		if err != nil {
+			return err
+		}
 		ia.Peer, ib.Peer = ib, ia
 		e.AIface, e.BIface = ia, ib
 		ra.connect(rb, ia)
 		rb.connect(ra, ib)
 	}
+	return nil
 }
 
 // linkAddressOwner picks which AS's space numbers the link.
@@ -552,16 +593,19 @@ func (e *Edge) providerCustomer() (*AS, *AS) {
 }
 
 // port returns (creating if needed) the IXP LAN interface of router r.
-func (x *IXP) port(in *Internet, r *Router, a *AS) *Iface {
+func (x *IXP) port(in *Internet, r *Router, a *AS) (*Iface, error) {
 	if i, ok := x.ports[a.ASN]; ok {
-		return i
+		return i, nil
 	}
 	addr := netutil.NthAddr(x.Prefix, x.nextIP)
 	x.nextIP++
-	i := in.addIface(r, addr)
+	i, err := in.addIface(r, addr)
+	if err != nil {
+		return nil, err
+	}
 	i.LAN = x
 	x.ports[a.ASN] = i
-	return i
+	return i, nil
 }
 
 // assignBehaviours sets per-router reply quirks after all interfaces

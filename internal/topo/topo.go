@@ -375,13 +375,17 @@ func (in *Internet) configureRouterBehaviour(r *Router) {
 	r.IPIDVelocity = 0.3 + rng.Float64()*6
 }
 
-func (in *Internet) addIface(r *Router, addr netip.Addr) *Iface {
+// addIface attaches a new interface with the given address to r. A
+// duplicate address is a generator bug (overlapping allocation pools);
+// it is reported as an error so callers of Generate get a diagnostic
+// instead of a panic.
+func (in *Internet) addIface(r *Router, addr netip.Addr) (*Iface, error) {
+	if prev, dup := in.IfaceByAddr[addr]; dup {
+		return nil, fmt.Errorf("topo: duplicate interface address %v (routers %d and %d)",
+			addr, prev.Router.ID, r.ID)
+	}
 	i := &Iface{Addr: addr, Router: r}
 	r.Ifaces = append(r.Ifaces, i)
-	if prev, dup := in.IfaceByAddr[addr]; dup {
-		panic(fmt.Sprintf("topo: duplicate interface address %v (routers %d and %d)",
-			addr, prev.Router.ID, r.ID))
-	}
 	in.IfaceByAddr[addr] = i
-	return i
+	return i, nil
 }

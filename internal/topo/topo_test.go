@@ -2,6 +2,7 @@ package topo
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/asn"
@@ -39,8 +40,33 @@ func TestGenerateRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// TestAddIfaceDuplicateReturnsError: a duplicate interface address is
+// reported as a Generate-style error, never a panic.
+func TestAddIfaceDuplicateReturnsError(t *testing.T) {
+	in := smallNet(t, 5)
+	var existing *Iface
+	for _, i := range in.IfaceByAddr {
+		existing = i
+		break
+	}
+	if _, err := in.addIface(in.Routers[0], existing.Addr); err == nil {
+		t.Fatal("addIface accepted a duplicate address")
+	} else if got := err.Error(); !strings.Contains(got, "duplicate interface address") {
+		t.Errorf("err = %q, want a duplicate-address diagnostic", got)
+	}
+	// The failed add must not have half-attached the interface.
+	if in.IfaceByAddr[existing.Addr] != existing {
+		t.Error("duplicate add replaced the existing interface")
+	}
+	for _, ri := range in.Routers[0].Ifaces {
+		if ri.Addr == existing.Addr && ri != existing {
+			t.Error("duplicate add left a dangling interface on the router")
+		}
+	}
+}
+
 func TestUniqueAddresses(t *testing.T) {
-	// addIface panics on duplicates; generation succeeding proves
+	// addIface rejects duplicates; generation succeeding proves
 	// uniqueness. Spot-check interface/router back pointers instead.
 	in := smallNet(t, 2)
 	for addr, i := range in.IfaceByAddr {
