@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-static build test race bench smoke fuzz-smoke profile
+.PHONY: ci vet lint lint-static build test race bench smoke fuzz-smoke crash-smoke profile
 
 ci: vet lint lint-static build test race
 
@@ -68,6 +68,15 @@ fuzz-smoke:
 	$(GO) test ./internal/itdk -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+
+# Crash-injection matrix: SIGKILL the real CLI at seeded checkpoint and
+# output-rename points, resume from the snapshot at a different worker
+# count, and require byte-identical annotations with no torn output
+# file. This is the executable proof behind the -checkpoint-dir/-resume
+# durability claims.
+crash-smoke:
+	$(GO) test ./cmd/bdrmapit -run '^TestCrashResume' -count=1 -v
 
 # CPU/heap profiles of the benchmark suite, for pprof inspection:
 #   go tool pprof profiles/refine.cpu.pprof

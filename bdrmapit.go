@@ -39,6 +39,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/asrel"
 	"repro/internal/bgp"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/ip2as"
 	"repro/internal/itdk"
@@ -119,6 +120,24 @@ type Options struct {
 	// WarnWriter receives the loud degradation and skipped-file
 	// warnings. nil means os.Stderr; use io.Discard to silence.
 	WarnWriter io.Writer
+	// CheckpointDir, when set, makes the refinement loop durable:
+	// committed iterations are snapshotted into this directory (created
+	// if needed) with atomic-rename semantics, so a run killed at any
+	// instant can restart with Resume and finish byte-identically to an
+	// uninterrupted run. Snapshots record a fingerprint of the heuristic
+	// options and a digest of every input file; worker count and the
+	// iteration cap are deliberately not part of the fingerprint (both
+	// may change across a resume without changing the result).
+	CheckpointDir string
+	// CheckpointEvery snapshots every N committed iterations (<= 1,
+	// the default, snapshots every iteration). The final iteration is
+	// always snapshotted. Ignored without CheckpointDir.
+	CheckpointEvery int
+	// Resume restores the newest snapshot in CheckpointDir before
+	// refinement and continues after it. A missing snapshot fails with
+	// ckpt.ErrNoCheckpoint; one taken under different options or inputs
+	// fails with a *ckpt.MismatchError. Ignored without CheckpointDir.
+	Resume bool
 }
 
 func (o Options) internal() core.Options {
@@ -167,6 +186,11 @@ type Result struct {
 	// convergence trace. It marshals to JSON and renders with
 	// obs.WriteSummary.
 	Report *obs.Report
+	// ResumedFrom is the checkpointed iteration this run restored before
+	// continuing (Options.Resume); 0 for a run started from scratch. A
+	// resumed run's annotations, Iterations, and Report trace are
+	// byte-identical to an uninterrupted run's.
+	ResumedFrom int
 }
 
 // RouterOperator returns the AS inferred to operate the router that
@@ -239,7 +263,9 @@ func (r *Result) Annotations(w io.Writer) error {
 
 // WriteITDK materializes the result in CAIDA ITDK form — the release
 // format bdrmapIT's annotations ship in — writing itdk.nodes,
-// itdk.nodes.as, and itdk.links into dir (created if needed).
+// itdk.nodes.as, and itdk.links into dir (created if needed). Each file
+// is published atomically (temp file + fsync + rename), so a killed run
+// leaves either no file or a complete one, never a torn prefix.
 func (r *Result) WriteITDK(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("bdrmapit: %w", err)
@@ -254,16 +280,8 @@ func (r *Result) WriteITDK(dir string) error {
 		{"itdk.links", func(w io.Writer) error { return kit.WriteLinks(w) }},
 	}
 	for _, out := range outputs {
-		f, err := os.Create(filepath.Join(dir, out.name))
-		if err != nil {
-			return fmt.Errorf("bdrmapit: %w", err)
-		}
-		if err := out.fill(f); err != nil {
-			f.Close()
+		if err := ckpt.AtomicWrite(filepath.Join(dir, out.name), out.fill); err != nil {
 			return fmt.Errorf("bdrmapit: writing %s: %w", out.name, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("bdrmapit: %w", err)
 		}
 	}
 	return nil
@@ -290,7 +308,9 @@ func Run(src Sources, opts Options) (*Result, error) {
 // loop starts returns (nil, ctx.Err()-wrapping error); once refinement
 // is underway it returns the last committed iteration's annotations as
 // a partial Result with Interrupted=true and no error — the partial
-// annotations are the deliverable.
+// annotations are the deliverable. With CheckpointDir set, durability
+// failures (unwritable snapshots, refused resumes) are returned as
+// errors; see Options.CheckpointDir and Options.Resume.
 func RunContext(ctx context.Context, src Sources, opts Options) (*Result, error) {
 	if len(src.TraceroutePaths) == 0 {
 		return nil, fmt.Errorf("bdrmapit: no traceroute inputs")
@@ -344,8 +364,22 @@ func RunContext(ctx context.Context, src Sources, opts Options) (*Result, error)
 		return nil, fmt.Errorf("bdrmapit: no routes loaded from %d RIB input(s)", len(src.BGPRIBPaths))
 	}
 
+	copts := opts.internal()
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("bdrmapit: creating checkpoint directory: %w", err)
+		}
+		dig := rec.Phase("digest-inputs")
+		copts.Checkpoint = &ckpt.Config{
+			Dir:         opts.CheckpointDir,
+			Every:       opts.CheckpointEvery,
+			Resume:      opts.Resume,
+			InputDigest: digestSources(src),
+		}
+		dig.End()
+	}
 	resolver := &ip2as.Resolver{IXPs: ixps, Table: bgp.NewTable(routes), Delegations: dels}
-	res, err := core.InferContext(ctx, traces, resolver, aliases, rels, opts.internal())
+	res, err := core.InferContext(ctx, traces, resolver, aliases, rels, copts)
 	if err != nil {
 		return nil, fmt.Errorf("bdrmapit: %w", err)
 	}
@@ -355,6 +389,7 @@ func RunContext(ctx context.Context, src Sources, opts Options) (*Result, error)
 		Converged:   res.Converged,
 		Interrupted: res.Interrupted,
 		Report:      res.Report,
+		ResumedFrom: res.ResumedFrom,
 	}, nil
 }
 

@@ -27,10 +27,19 @@
 // kills the process immediately. -strict turns every degraded input
 // source into a hard error; -max-bad-inputs N tolerates up to N
 // unreadable required files (traceroutes, RIBs) before aborting.
+//
+// Durability: -checkpoint-dir makes refinement crash-safe — each
+// committed iteration (every Nth with -checkpoint-every N) is
+// snapshotted with atomic-rename semantics, and -resume restarts a
+// killed run from the newest snapshot, producing output byte-identical
+// to an uninterrupted run at any worker count. Resume refuses
+// checkpoints taken under different heuristic options or input files.
+// Every output file (annotations, links, ITDK, JSON report) is also
+// published atomically, so a kill at any instant never leaves a torn
+// file.
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -39,10 +48,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
 	bdrmapit "repro"
+	"repro/internal/ckpt"
 	"repro/internal/obs"
 )
 
@@ -57,28 +68,65 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bdrmapit: ")
 	var (
-		traces  = flag.String("traces", "", "traceroute file(s), comma separated (required)")
-		rib     = flag.String("rib", "", "BGP RIB file(s), comma separated")
-		rirF    = flag.String("rir", "", "RIR extended delegation file(s)")
-		ixpF    = flag.String("ixp", "", "IXP prefix list file(s)")
-		rels    = flag.String("rels", "", "AS relationship file(s) (serial-1); inferred from the RIB when absent")
-		aliases = flag.String("aliases", "", "ITDK alias nodes file(s)")
-		annOut  = flag.String("annotations", "", "write per-interface annotations to this file")
-		lnkOut  = flag.String("links", "", "write inferred interdomain links to this file")
-		itdkOut = flag.String("itdk", "", "write ITDK-format output (nodes, nodes.as, links) into this directory")
-		maxIter = flag.Int("max-iterations", 0, "refinement iteration cap (default 50)")
-		workers = flag.Int("workers", 0, "concurrent annotation workers (default GOMAXPROCS; results are identical for any count)")
-		verbose = flag.Bool("v", false, "stream progress logs to stderr while the run executes")
-		metrics = flag.String("metrics-addr", "", "serve live metrics and pprof at this address (e.g. localhost:6060)")
-		repJSON = flag.String("report-json", "", "write the run report as JSON to this file (- for stdout)")
-		quiet   = flag.Bool("quiet-report", false, "suppress the stderr run-report summary")
-		timeout = flag.Duration("timeout", 0, "cancel the run after this long, flushing partial annotations (0 = no limit)")
-		strict  = flag.Bool("strict", false, "treat any degraded input source as a hard error")
-		maxBad  = flag.Int("max-bad-inputs", 0, "tolerate up to N unreadable required input files before aborting")
+		traces   = flag.String("traces", "", "traceroute file(s), comma separated (required)")
+		rib      = flag.String("rib", "", "BGP RIB file(s), comma separated")
+		rirF     = flag.String("rir", "", "RIR extended delegation file(s)")
+		ixpF     = flag.String("ixp", "", "IXP prefix list file(s)")
+		rels     = flag.String("rels", "", "AS relationship file(s) (serial-1); inferred from the RIB when absent")
+		aliases  = flag.String("aliases", "", "ITDK alias nodes file(s)")
+		annOut   = flag.String("annotations", "", "write per-interface annotations to this file")
+		lnkOut   = flag.String("links", "", "write inferred interdomain links to this file")
+		itdkOut  = flag.String("itdk", "", "write ITDK-format output (nodes, nodes.as, links) into this directory")
+		maxIter  = flag.Int("max-iterations", 0, "refinement iteration cap (default 50)")
+		workers  = flag.Int("workers", 0, "concurrent annotation workers (default GOMAXPROCS; results are identical for any count)")
+		verbose  = flag.Bool("v", false, "stream progress logs to stderr while the run executes")
+		metrics  = flag.String("metrics-addr", "", "serve live metrics and pprof at this address (e.g. localhost:6060)")
+		repJSON  = flag.String("report-json", "", "write the run report as JSON to this file (- for stdout)")
+		quiet    = flag.Bool("quiet-report", false, "suppress the stderr run-report summary")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this long, flushing partial annotations (0 = no limit)")
+		strict   = flag.Bool("strict", false, "treat any degraded input source as a hard error")
+		maxBad   = flag.Int("max-bad-inputs", 0, "tolerate up to N unreadable required input files before aborting")
+		ckptDir  = flag.String("checkpoint-dir", "", "snapshot committed refinement iterations into this directory for crash-safe resume")
+		ckptEvry = flag.Int("checkpoint-every", 0, "snapshot every N committed iterations (default 1: every iteration; the final iteration is always snapshotted)")
+		resume   = flag.Bool("resume", false, "restore the newest snapshot in -checkpoint-dir and continue the run from there")
 	)
 	flag.Parse()
 	if *traces == "" {
 		log.Fatal("-traces is required")
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir (the directory holding the snapshot to restore)")
+	}
+
+	// Probe every output destination up front: a run that crunches for
+	// hours and then dies on an unwritable path is the failure mode the
+	// checkpoint subsystem exists to prevent, so misconfiguration must
+	// surface before any real work starts.
+	for _, dir := range []string{*ckptDir, *itdkOut} {
+		if dir != "" {
+			if err := ensureWritableDir(dir); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for _, out := range []string{*annOut, *lnkOut, *repJSON} {
+		if out != "" && out != "-" {
+			if err := ensureWritableDir(filepath.Dir(out)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Crash-injection seam for the durability tests: when the named
+	// point is reached, the process SIGKILLs itself — the hardest crash
+	// there is, no deferred cleanup, no signal handler.
+	if point := os.Getenv("BDRMAPIT_CRASH_AT"); point != "" {
+		ckpt.TestHook = func(p string) {
+			if p == point {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				select {} // unreachable; SIGKILL cannot be handled
+			}
+		}
 	}
 
 	// First SIGINT/SIGTERM cancels the run gracefully; stop() restores
@@ -120,6 +168,9 @@ func main() {
 		Recorder:         rec,
 		Strict:           *strict,
 		MaxBadInputFiles: *maxBad,
+		CheckpointDir:    *ckptDir,
+		CheckpointEvery:  *ckptEvry,
+		Resume:           *resume,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -127,6 +178,9 @@ func main() {
 	if res.Interrupted {
 		fmt.Fprintln(os.Stderr,
 			"bdrmapit: run interrupted; writing partial annotations from the last committed iteration")
+	}
+	if res.ResumedFrom > 0 {
+		fmt.Fprintf(os.Stderr, "bdrmapit: resumed from checkpoint at iteration %d\n", res.ResumedFrom)
 	}
 
 	links := res.InterdomainLinks()
@@ -136,13 +190,13 @@ func main() {
 		len(links), len(res.ASLinks()))
 
 	if *annOut != "" {
-		if err := writeTo(*annOut, res.Annotations); err != nil {
+		if err := ckpt.AtomicWrite(*annOut, res.Annotations); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("annotations written to", *annOut)
 	}
 	if *lnkOut != "" {
-		err := writeTo(*lnkOut, func(w io.Writer) error {
+		err := ckpt.AtomicWrite(*lnkOut, func(w io.Writer) error {
 			for _, l := range links {
 				if _, err := fmt.Fprintf(w, "%d %d %s %s\n",
 					l.NearAS, l.FarAS, l.FarAddr, l.Confidence); err != nil {
@@ -176,26 +230,37 @@ func main() {
 			if _, err := os.Stdout.Write(data); err != nil {
 				log.Fatal(err)
 			}
-		} else if err := os.WriteFile(*repJSON, data, 0o644); err != nil {
-			log.Fatal(err)
+		} else {
+			err := ckpt.AtomicWrite(*repJSON, func(w io.Writer) error {
+				_, err := w.Write(data)
+				return err
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 }
 
-// writeTo buffers fill's output into path.
-func writeTo(path string, fill func(io.Writer) error) error {
-	f, err := os.Create(path)
+// ensureWritableDir creates dir (and parents) if needed and proves it
+// is writable by creating and removing a probe file, so path problems
+// fail the run immediately with a clear message instead of as a bare
+// os.PathError after hours of inference.
+func ensureWritableDir(dir string) error {
+	if dir == "" || dir == "." {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("output directory %s cannot be created: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(dir, ".writable-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("output directory %s is not writable: %w", dir, err)
 	}
-	bw := bufio.NewWriter(f)
-	if err := fill(bw); err != nil {
-		_ = f.Close() // the fill error is the one worth reporting
-		return err
+	name := probe.Name()
+	if err := probe.Close(); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("output directory %s is not writable: %w", dir, err)
 	}
-	if err := bw.Flush(); err != nil {
-		_ = f.Close() // the flush error is the one worth reporting
-		return err
-	}
-	return f.Close()
+	return os.Remove(name)
 }

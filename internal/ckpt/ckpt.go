@@ -1,0 +1,454 @@
+// Package ckpt makes long bdrmapIT runs crash-safe: it serializes the
+// refinement loop's committed per-iteration state into a versioned,
+// length-prefixed, CRC-guarded binary snapshot, written with
+// write-to-temp + fsync + atomic-rename semantics so the checkpoint on
+// disk is always a complete, internally consistent iteration — never a
+// torn file — no matter when the process dies.
+//
+// The engine commits one consistent annotation state per refinement
+// iteration (paper §6.3 detects convergence by hashing exactly that
+// state), which makes iteration boundaries natural durability points: a
+// snapshot holds the router and interface annotations, the iteration
+// counter, the cycle-detector history, and the convergence trace, plus
+// fingerprints of the options and inputs that produced them. Restoring
+// a snapshot into a freshly rebuilt graph and continuing the loop is
+// byte-identical to never having crashed, at every worker count — the
+// durability complement of the engine's cancellation-equivalence
+// guarantee.
+//
+// Resume safety is fingerprint-checked: a checkpoint taken under
+// different heuristic ablations, different input files, or a different
+// graph shape is refused with a typed *MismatchError rather than
+// silently producing a state no uninterrupted run could reach.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FileName is the checkpoint file written inside the checkpoint
+// directory. A run keeps exactly one: each committed iteration
+// atomically replaces the previous snapshot, so the newest durable
+// state is always at this name.
+const FileName = "refine.ckpt"
+
+// Version is the current checkpoint format version. Decode refuses any
+// other value: resuming across format revisions silently reinterpreting
+// bytes would be worse than restarting the run.
+const Version = 1
+
+// magic identifies a bdrmapIT checkpoint file (8 bytes).
+const magic = "BMITCKPT"
+
+// ErrNoCheckpoint reports that the checkpoint directory holds no
+// snapshot. Resume is an explicit request; starting silently from
+// scratch when the checkpoint is missing (a typo'd directory, a cleanup
+// job) would discard the operator's intent, so callers surface this.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// TestHook, when non-nil, is invoked at named durability points:
+// "pre-rename:<base>" just before AtomicWrite publishes a file, and
+// "checkpoint:<iteration>" just after a snapshot becomes durable. The
+// crash-injection harness uses it to SIGKILL the process at exact,
+// reproducible instants; production runs never set it.
+var TestHook func(point string)
+
+// Config enables checkpointing for a run.
+type Config struct {
+	// Dir is the checkpoint directory. Snapshots are written to
+	// Dir/FileName; the directory must exist and be writable.
+	Dir string
+	// Every writes a snapshot each N committed iterations (<= 1 means
+	// every iteration). The final iteration — convergence or the
+	// iteration cap — is always snapshotted regardless of stride.
+	Every int
+	// Resume restores the snapshot in Dir before refinement starts and
+	// continues from the iteration after it. Resuming with no snapshot
+	// present fails with ErrNoCheckpoint; resuming against different
+	// options, inputs, or graph shape fails with a *MismatchError.
+	Resume bool
+	// InputDigest fingerprints the run's input files (the caller
+	// computes it; the root package hashes every source file's
+	// contents). Stored in each snapshot and checked on resume, so a
+	// checkpoint can never be applied to a different dataset.
+	InputDigest uint64
+}
+
+// IterHash is one cycle-detector history entry: the annotation-state
+// hash first seen at iteration Iter.
+type IterHash struct {
+	Hash uint64
+	Iter int
+}
+
+// State is one committed refinement iteration, plus everything needed
+// to refuse an incompatible resume. Annotation slices are indexed by
+// the graph's deterministic orders (router ID, sorted interface
+// address), which GraphDigest pins.
+type State struct {
+	// OptionsFP fingerprints the heuristic ablation switches. Worker
+	// count (result-invariant by the sharding contract) and the
+	// iteration cap (a stopping rule — resuming with a larger cap is
+	// how a capped run is extended) are deliberately excluded.
+	OptionsFP uint64
+	// InputDigest is Config.InputDigest at snapshot time.
+	InputDigest uint64
+	// GraphDigest fingerprints the rebuilt graph's shape: interface
+	// addresses and their partition into routers.
+	GraphDigest uint64
+
+	// Iteration is the committed iteration this state belongs to.
+	Iteration int
+	// Converged and CycleLength record a loop that already stopped on a
+	// repeated state; resuming such a snapshot returns immediately.
+	Converged   bool
+	CycleLength int
+
+	// Hashes is the cycle detector's first-sighting history, ordered by
+	// iteration.
+	Hashes []IterHash
+	// Routers holds each router's committed annotation, indexed by
+	// router ID.
+	Routers []uint32
+	// Ifaces holds each interface's committed annotation, indexed by
+	// the graph's sorted-address order.
+	Ifaces []uint32
+	// Trace is the per-iteration convergence trace through Iteration,
+	// so a resumed run's report stitches seamlessly onto the original's.
+	Trace []obs.Row
+}
+
+// MismatchError reports a checkpoint that cannot be applied to this
+// run: its fingerprints disagree with the current options, inputs, or
+// graph. Resume refuses rather than risking a state no uninterrupted
+// run could produce.
+type MismatchError struct {
+	// Field names what disagreed: "options", "inputs", "graph",
+	// "routers", or "interfaces".
+	Field string
+	// Want is the checkpoint's value, Got the current run's.
+	Want, Got uint64
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("ckpt: %s mismatch: checkpoint recorded %#x but this run has %#x; refusing to resume (rerun without resume, or delete the checkpoint, to start fresh)",
+		e.Field, e.Want, e.Got)
+}
+
+// FormatError reports a checkpoint file that failed structural
+// validation: wrong magic or version, bad length, failed CRC, or a
+// malformed payload. A truncated or bit-rotted snapshot is detected
+// here rather than surfacing as corrupt annotations.
+type FormatError struct {
+	Reason string
+}
+
+func (e *FormatError) Error() string { return "ckpt: invalid checkpoint: " + e.Reason }
+
+// Encode writes st to w in the checkpoint format:
+//
+//	magic[8] version[1] payloadLen[u32le] payload crc32[u32le]
+//
+// where the CRC (IEEE) covers everything before it. The payload is a
+// fixed field sequence of little-endian words and (zigzag) varints;
+// map-valued rows serialize with sorted keys, so encoding is a pure
+// function of st and re-encoding a decoded state is byte-identical.
+func Encode(w io.Writer, st *State) error {
+	p := appendPayload(nil, st)
+	head := make([]byte, 0, len(magic)+1+4)
+	head = append(head, magic...)
+	head = append(head, Version)
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(p)))
+	crc := crc32.ChecksumIEEE(head)
+	crc = crc32.Update(crc, crc32.IEEETable, p)
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if _, err := w.Write(p); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.Write(tail[:])
+	return err
+}
+
+func appendPayload(p []byte, st *State) []byte {
+	p = binary.LittleEndian.AppendUint64(p, st.OptionsFP)
+	p = binary.LittleEndian.AppendUint64(p, st.InputDigest)
+	p = binary.LittleEndian.AppendUint64(p, st.GraphDigest)
+	p = binary.AppendUvarint(p, uint64(st.Iteration))
+	if st.Converged {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	p = binary.AppendUvarint(p, uint64(st.CycleLength))
+	p = binary.AppendUvarint(p, uint64(len(st.Hashes)))
+	for _, h := range st.Hashes {
+		p = binary.LittleEndian.AppendUint64(p, h.Hash)
+		p = binary.AppendUvarint(p, uint64(h.Iter))
+	}
+	p = binary.AppendUvarint(p, uint64(len(st.Routers)))
+	for _, a := range st.Routers {
+		p = binary.AppendUvarint(p, uint64(a))
+	}
+	p = binary.AppendUvarint(p, uint64(len(st.Ifaces)))
+	for _, a := range st.Ifaces {
+		p = binary.AppendUvarint(p, uint64(a))
+	}
+	p = binary.AppendUvarint(p, uint64(len(st.Trace)))
+	for _, row := range st.Trace {
+		keys := make([]string, 0, len(row))
+		//lint:ignore maporder keys are collected then sorted before serialization
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		p = binary.AppendUvarint(p, uint64(len(keys)))
+		for _, k := range keys {
+			p = binary.AppendUvarint(p, uint64(len(k)))
+			p = append(p, k...)
+			p = binary.AppendVarint(p, row[k])
+		}
+	}
+	return p
+}
+
+// Decode reads one checkpoint from r, validating magic, version, the
+// length prefix, the trailing CRC, and every payload bound. Structural
+// failures return a *FormatError; Decode never panics on corrupt input
+// and never allocates more than the input length implies.
+func Decode(r io.Reader) (*State, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading checkpoint: %w", err)
+	}
+	headLen := len(magic) + 1 + 4
+	if len(data) < headLen+4 {
+		return nil, &FormatError{Reason: fmt.Sprintf("file too short (%d bytes)", len(data))}
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, &FormatError{Reason: "bad magic (not a bdrmapIT checkpoint)"}
+	}
+	if v := data[len(magic)]; v != Version {
+		return nil, &FormatError{Reason: fmt.Sprintf("unsupported format version %d (this build reads version %d)", v, Version)}
+	}
+	plen := binary.LittleEndian.Uint32(data[len(magic)+1:])
+	if uint64(len(data)) != uint64(headLen)+uint64(plen)+4 {
+		return nil, &FormatError{Reason: fmt.Sprintf("length mismatch: header declares %d payload bytes, file holds %d", plen, len(data)-headLen-4)}
+	}
+	body := data[:len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, &FormatError{Reason: fmt.Sprintf("checksum mismatch (stored %#x, computed %#x)", wantCRC, got)}
+	}
+	d := &decoder{b: data[headLen : len(data)-4]}
+	st := &State{
+		OptionsFP:   d.u64(),
+		InputDigest: d.u64(),
+		GraphDigest: d.u64(),
+		Iteration:   d.count("iteration"),
+	}
+	st.Converged = d.u8() != 0
+	st.CycleLength = d.count("cycle length")
+	n := d.count("hash history length")
+	d.checkLen(n, 9, "hash history")
+	for i := 0; i < n && d.err == nil; i++ {
+		st.Hashes = append(st.Hashes, IterHash{Hash: d.u64(), Iter: d.count("hash iteration")})
+	}
+	n = d.count("router count")
+	d.checkLen(n, 1, "router annotations")
+	for i := 0; i < n && d.err == nil; i++ {
+		st.Routers = append(st.Routers, d.u32v("router annotation"))
+	}
+	n = d.count("interface count")
+	d.checkLen(n, 1, "interface annotations")
+	for i := 0; i < n && d.err == nil; i++ {
+		st.Ifaces = append(st.Ifaces, d.u32v("interface annotation"))
+	}
+	n = d.count("trace length")
+	d.checkLen(n, 1, "trace rows")
+	for i := 0; i < n && d.err == nil; i++ {
+		nk := d.count("trace row key count")
+		d.checkLen(nk, 2, "trace row keys")
+		row := make(obs.Row, nk)
+		for j := 0; j < nk && d.err == nil; j++ {
+			row[d.str()] = d.i64()
+		}
+		st.Trace = append(st.Trace, row)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, &FormatError{Reason: fmt.Sprintf("%d trailing payload bytes", len(d.b)-d.off)}
+	}
+	return st, nil
+}
+
+// decoder is a bounds-checked cursor over the payload. The first
+// structural violation latches err; subsequent reads are no-ops, so
+// call sites stay linear instead of error-checking every field.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(reason string) {
+	if d.err == nil {
+		d.err = &FormatError{Reason: reason}
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("payload truncated reading byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("payload truncated reading u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("malformed varint in " + what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("malformed signed varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a non-negative size that must fit an int.
+func (d *decoder) count(what string) int {
+	v := d.uvarint(what)
+	if v > uint64(len(d.b)) {
+		d.fail(fmt.Sprintf("implausible %s %d for a %d-byte payload", what, v, len(d.b)))
+		return 0
+	}
+	return int(v)
+}
+
+// u32v reads a uvarint that must fit a uint32 (an AS number).
+func (d *decoder) u32v(what string) uint32 {
+	v := d.uvarint(what)
+	if v > 1<<32-1 {
+		d.fail(what + " overflows uint32")
+		return 0
+	}
+	return uint32(v)
+}
+
+// checkLen rejects a declared element count whose minimum encoding
+// could not fit in the remaining payload, before anything allocates.
+func (d *decoder) checkLen(n, minBytesPer int, what string) {
+	if d.err != nil {
+		return
+	}
+	if n*minBytesPer > len(d.b)-d.off {
+		d.fail(fmt.Sprintf("declared %s %d exceeds remaining payload", what, n))
+	}
+}
+
+func (d *decoder) str() string {
+	n := d.count("string length")
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.b) {
+		d.fail("payload truncated reading string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// Save atomically publishes st as dir/FileName: the snapshot is
+// encoded, written to a temp file, fsynced, and renamed over any
+// previous snapshot, so a crash at any instant leaves either the old
+// complete checkpoint or the new one — never a torn file. Timings and
+// sizes are recorded on rec (nil-safe) as ckpt.write_ns, ckpt.writes,
+// and ckpt.bytes.
+func Save(dir string, st *State, rec *obs.Recorder) error {
+	start := time.Now()
+	path := filepath.Join(dir, FileName)
+	if err := AtomicWrite(path, func(w io.Writer) error { return Encode(w, st) }); err != nil {
+		return fmt.Errorf("ckpt: writing snapshot for iteration %d: %w", st.Iteration, err)
+	}
+	if rec.Enabled() {
+		rec.Histogram("ckpt.write_ns").Observe(time.Since(start).Nanoseconds())
+		rec.Counter("ckpt.writes").Inc()
+	}
+	if TestHook != nil {
+		TestHook("checkpoint:" + strconv.Itoa(st.Iteration))
+	}
+	return nil
+}
+
+// Load reads the snapshot in dir. A missing file reports
+// ErrNoCheckpoint (wrapped); a structurally invalid one reports a
+// *FormatError.
+func Load(dir string) (*State, error) {
+	path := filepath.Join(dir, FileName)
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w in %s (was a checkpoint ever written there?)", ErrNoCheckpoint, dir)
+		}
+		return nil, fmt.Errorf("ckpt: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", path, err)
+	}
+	return st, nil
+}

@@ -97,7 +97,10 @@ func TestCancelAtEveryBatchBoundary(t *testing.T) {
 		for _, b := range boundaries {
 			e := goldenEnv(t)
 			g := buildGraph(t, e, workers)
-			res := RunContext(&countCtx{failAfter: b.failAfter}, g, e.rels, Options{Workers: workers})
+			res, err := RunContext(&countCtx{failAfter: b.failAfter}, g, e.rels, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d %s: RunContext: %v", workers, b.name, err)
+			}
 			if !res.Interrupted {
 				t.Fatalf("workers=%d %s: Interrupted=false", workers, b.name)
 			}
@@ -120,7 +123,10 @@ func TestCancelBeforeRunReturnsUnannotatedPartial(t *testing.T) {
 	g := buildGraph(t, e, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := RunContext(ctx, g, e.rels, Options{})
+	res, err := RunContext(ctx, g, e.rels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Interrupted || res.Iterations != 0 {
 		t.Fatalf("Interrupted=%v Iterations=%d, want true/0", res.Interrupted, res.Iterations)
 	}

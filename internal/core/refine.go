@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/asn"
+	"repro/internal/ckpt"
 	"repro/internal/ip2as"
 	"repro/internal/netutil"
 	"repro/internal/obs"
@@ -45,6 +46,13 @@ type Options struct {
 	// per-worker shard timings. nil (the default) disables collection;
 	// the engine's annotations are identical either way.
 	Recorder *obs.Recorder
+	// Checkpoint, when non-nil, makes the refinement loop durable: each
+	// committed iteration (on the configured stride) is snapshotted to
+	// Checkpoint.Dir with atomic-rename semantics, and Checkpoint.Resume
+	// restores the newest snapshot and continues from the iteration
+	// after it. Checkpointed runs must use RunContext/InferContext —
+	// durability failures are real errors the caller must see.
+	Checkpoint *ckpt.Config
 	// hookIterEnd, when non-nil, runs after each fully committed
 	// refinement iteration (snapshot, router, and interface passes all
 	// complete). It is a test-only seam — in-package tests use it to
@@ -206,19 +214,34 @@ func (c *refineCounters) flush(t *iterTally) {
 // of worker count and shard boundaries: Run(w=1) and Run(w=N) produce
 // byte-identical results.
 func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
-	return RunContext(context.Background(), g, rels, opts)
+	res, err := RunContext(context.Background(), g, rels, opts)
+	if err != nil {
+		// Only checkpoint I/O or an incompatible resume can fail; both
+		// require Options.Checkpoint, whose documentation directs those
+		// runs to RunContext.
+		panic("core.Run: " + err.Error() + " (checkpointed runs must use RunContext)")
+	}
+	return res
 }
 
-// RunContext is Run with cooperative cancellation. The context is
-// checked only at batch boundaries — before each sharded pass — so the
-// annotation state a cancelled run leaves behind is always the state of
-// a fully committed iteration, byte-identical at every worker count to
-// a fresh run capped at that iteration (MaxIterations=k). On
-// cancellation the partial result carries Interrupted=true, Iterations
-// set to the last committed iteration, and a fully populated Report;
-// there is no error to return because the partial annotations are the
-// deliverable.
-func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Options) *Result {
+// RunContext is Run with cooperative cancellation and optional
+// durability. The context is checked only at batch boundaries — before
+// each sharded pass — so the annotation state a cancelled run leaves
+// behind is always the state of a fully committed iteration,
+// byte-identical at every worker count to a fresh run capped at that
+// iteration (MaxIterations=k). On cancellation the partial result
+// carries Interrupted=true, Iterations set to the last committed
+// iteration, and a fully populated Report; cancellation is not an error
+// because the partial annotations are the deliverable.
+//
+// A non-nil error occurs only with Options.Checkpoint set: a snapshot
+// that could not be written, or a resume refused because the stored
+// checkpoint is missing (ckpt.ErrNoCheckpoint), structurally invalid
+// (*ckpt.FormatError), or belongs to a different run
+// (*ckpt.MismatchError). A resumed run continues from the iteration
+// after the snapshot and is byte-identical, at every worker count, to a
+// run that was never interrupted.
+func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Options) (*Result, error) {
 	opts.setDefaults()
 	rec := opts.Recorder
 
@@ -229,7 +252,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		rec.MarkInterrupted()
 		res.Report = rec.Report()
 		res.Report.Interrupted = true
-		return res
+		return res, nil
 	}
 
 	lh := rec.Phase("lasthop")
@@ -249,9 +272,42 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 
 	cycles := newCycleDetector()
 	res := &Result{Graph: g}
+	var ckr *ckptRunner
+	if opts.Checkpoint != nil {
+		ckr = newCkptRunner(opts.Checkpoint, &opts, g)
+	}
+	// Checkpointed runs always collect per-iteration tallies, Recorder
+	// or not: the convergence trace travels inside each snapshot so a
+	// resumed run's report stitches seamlessly onto the original's.
+	collect := rec.Enabled() || ckr != nil
+	var traceRows []obs.Row    // committed trace rows, restored and extended across resumes
 	var changedPerIter []int64 // oscillation diagnostics (one entry per iteration)
-	var mu sync.Mutex          // merges per-shard tallies into the iteration total
-	for iter := 1; iter <= opts.MaxIterations; iter++ {
+	startIter := 1
+	if ckr != nil && ckr.cfg.Resume {
+		st, err := ckr.load(g)
+		if err != nil {
+			ph.End()
+			return nil, err
+		}
+		ckr.restore(g, st, cycles, res)
+		res.ResumedFrom = st.Iteration
+		rec.SetResumedFrom(st.Iteration)
+		startIter = st.Iteration + 1
+		traceRows = st.Trace
+		for _, row := range st.Trace {
+			trace.Append(row)
+			counters.flush(tallyFromRow(row))
+			changedPerIter = append(changedPerIter, row["routers_changed"])
+		}
+		if st.Converged {
+			// The checkpointed loop already stopped on a repeated state
+			// (§6.3); re-running any iteration would walk past the
+			// detected cycle, so skip the loop entirely.
+			startIter = opts.MaxIterations + 1
+		}
+	}
+	var mu sync.Mutex // merges per-shard tallies into the iteration total
+	for iter := startIter; iter <= opts.MaxIterations; iter++ {
 		var it iterTally
 		// Step 1: snapshot. A cancellation observed here leaves every
 		// annotation at the previous iteration's committed state.
@@ -277,7 +333,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 					local.changedRouters++
 				}
 			}
-			if rec.Enabled() {
+			if collect {
 				mu.Lock()
 				it.add(&local)
 				mu.Unlock()
@@ -301,7 +357,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 					changed++
 				}
 			}
-			if rec.Enabled() {
+			if collect {
 				mu.Lock()
 				it.changedIfaces += changed
 				mu.Unlock()
@@ -316,16 +372,27 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			break
 		}
 		res.Iterations = iter
-		if rec.Enabled() {
-			trace.Append(it.row(iter))
-			counters.flush(&it)
+		if collect {
+			row := it.row(iter)
+			traceRows = append(traceRows, row)
 			changedPerIter = append(changedPerIter, it.changedRouters)
+			trace.Append(row)
+			counters.flush(&it)
 		}
 		repeated := false
 		if n, rep := cycles.record(g.stateHash(), iter); rep {
 			res.Converged = true
 			res.CycleLength = n
 			repeated = true
+		}
+		// Snapshot after cycle detection so a converged iteration's
+		// checkpoint records the convergence, but before hookIterEnd so
+		// crash points injected through the hook see a durable state.
+		if ckr != nil && ckr.due(iter, repeated, opts.MaxIterations) {
+			if err := ckr.save(g, res, cycles, traceRows); err != nil {
+				ph.End()
+				return nil, err
+			}
 		}
 		if opts.hookIterEnd != nil {
 			opts.hookIterEnd(iter)
@@ -354,11 +421,14 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			res.Iterations, opts.MaxIterations)
 	}
 	res.Report = rec.Report()
-	// Set the flag on the snapshot directly too, so a run without a
+	// Set the flags on the snapshot directly too, so a run without a
 	// Recorder (whose Report is the empty nil-recorder snapshot) still
-	// reports the interruption.
+	// reports the interruption and the resume point.
 	res.Report.Interrupted = res.Interrupted
-	return res
+	if res.ResumedFrom > 0 {
+		res.Report.ResumedFrom = res.ResumedFrom
+	}
+	return res, nil
 }
 
 func b2i(b bool) int64 {

@@ -32,6 +32,11 @@ type Result struct {
 	// MaxIterations=Iterations at any worker count — and must not be
 	// mistaken for a converged map.
 	Interrupted bool
+	// ResumedFrom is the checkpointed iteration this run restored before
+	// continuing (Options.Checkpoint.Resume); 0 for a run started from
+	// scratch. A resumed run's annotations, Iterations, and convergence
+	// trace are byte-identical to an uninterrupted run's.
+	ResumedFrom int
 	// Report is the telemetry snapshot taken when the run finished:
 	// phase timings, pipeline counters, and the per-iteration
 	// convergence trace. Always non-nil; empty (wall clock and peak RSS
@@ -139,8 +144,14 @@ func (res *Result) ASLinks() [][2]asn.ASN {
 func Infer(traces []*traceroute.Trace, resolver *ip2as.Resolver,
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) *Result {
 
-	// context.Background is never cancelled, so InferContext cannot fail.
-	res, _ := InferContext(context.Background(), traces, resolver, aliases, rels, opts)
+	res, err := InferContext(context.Background(), traces, resolver, aliases, rels, opts)
+	if err != nil {
+		// context.Background is never cancelled, so only checkpoint I/O
+		// or an incompatible resume can fail — both need
+		// Options.Checkpoint, whose documentation directs those runs to
+		// InferContext.
+		panic("core.Infer: " + err.Error() + " (checkpointed runs must use InferContext)")
+	}
 	return res
 }
 
@@ -154,7 +165,9 @@ const traceBatch = 4096
 // annotations yet, so there is nothing partial to salvage. Once the
 // graph is built, cancellation is handled by RunContext: the returned
 // Result carries the last committed iteration's annotations with
-// Interrupted=true, and the error is nil.
+// Interrupted=true, and the error is nil. With Options.Checkpoint set,
+// RunContext's durability errors (failed snapshot writes, refused
+// resumes) propagate here as non-nil errors with a nil Result.
 func InferContext(ctx context.Context, traces []*traceroute.Trace, resolver *ip2as.Resolver,
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) (*Result, error) {
 
@@ -184,7 +197,7 @@ func InferContext(ctx context.Context, traces []*traceroute.Trace, resolver *ip2
 	}
 	g := b.Finish(rels)
 	phase.End()
-	return RunContext(ctx, g, rels, opts), nil
+	return RunContext(ctx, g, rels, opts)
 }
 
 // distinctAddrs collects every distinct hop and destination address of

@@ -7,17 +7,21 @@ import (
 
 // Erraudit flags silently dropped error returns in the packages where a
 // swallowed error corrupts a run without failing it: the loaders (a
-// half-read input file becomes a silently smaller topology) and the cmd
-// mains (a failed report write exits 0). A call used as a bare statement
-// whose result set includes an error is a finding; explicitly assigning
-// to `_` is a visible decision and is left alone, as are fmt's printing
-// functions and writers that are documented never to fail
-// (strings.Builder, bytes.Buffer).
+// half-read input file becomes a silently smaller topology), the cmd
+// mains (a failed report write exits 0), and the checkpoint subsystem
+// (a swallowed fsync or rename error silently voids the crash-safety
+// guarantee). A call used as a bare statement whose result set includes
+// an error is a finding; explicitly assigning to `_` is a visible
+// decision and is left alone, as are fmt's printing functions and
+// writers that are documented never to fail (strings.Builder,
+// bytes.Buffer).
 var Erraudit = &Analyzer{
 	Name: "erraudit",
-	Doc:  "loaders and cmd mains must not silently drop error returns",
+	Doc:  "loaders, cmd mains, and the checkpoint subsystem must not silently drop error returns",
 	Applies: func(path string) bool {
-		return pathHasSegment(path, "cmd") || anySegment(path, loaderSegments...)
+		return pathHasSegment(path, "cmd") ||
+			anySegment(path, "internal/ckpt") ||
+			anySegment(path, loaderSegments...)
 	},
 	Run: runErraudit,
 }

@@ -81,3 +81,7 @@ func TestLayeringObsFixture(t *testing.T) {
 func TestErrauditFixture(t *testing.T) {
 	checkFixture(t, "erraudit", "erraudit/cmd/tool", "fixture/cmd/tool")
 }
+
+func TestErrauditCkptFixture(t *testing.T) {
+	checkFixture(t, "erraudit", "erraudit/internal/ckpt", "fixture/internal/ckpt")
+}

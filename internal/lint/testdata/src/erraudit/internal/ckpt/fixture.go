@@ -1,0 +1,28 @@
+// Package ckpt is an erraudit fixture for the checkpoint subsystem:
+// dropped durability errors (fsync, rename, close) are exactly the
+// failures that silently void the crash-safety guarantee.
+package ckpt
+
+import (
+	"fmt"
+	"os"
+)
+
+// Publish mimics the atomic-write sequence with one dropped error at
+// each durability step.
+func Publish(tmp, final string) {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	f.Sync()              // flagged: a lost fsync error voids durability
+	f.Close()             // flagged: close reports delayed write errors
+	os.Rename(tmp, final) // flagged: the publish step itself
+
+	//lint:ignore erraudit fixture: best-effort temp cleanup after a failure
+	os.Remove(tmp) // suppressed
+
+	_ = os.Remove(tmp) // clean: explicit discard is a visible decision
+
+	fmt.Println("published") // clean: fmt printing is exempt
+}

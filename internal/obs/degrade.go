@@ -82,3 +82,15 @@ func (r *Recorder) Interrupted() bool {
 	defer r.mu.Unlock()
 	return r.interrupted
 }
+
+// SetResumedFrom records that the run restored a checkpoint at
+// iteration iter before continuing, so the Report marks where the
+// replayed convergence trace ends and live iterations begin.
+func (r *Recorder) SetResumedFrom(iter int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.resumedFrom = iter
+	r.mu.Unlock()
+}

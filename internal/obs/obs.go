@@ -214,6 +214,7 @@ type Recorder struct {
 	warnings     []string
 	degradations []Degradation
 	interrupted  bool
+	resumedFrom  int
 	logw         io.Writer
 }
 

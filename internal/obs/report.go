@@ -32,6 +32,10 @@ type Report struct {
 	// Interrupted reports that the run was cancelled and the results are
 	// the last committed iteration's partial annotations.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// ResumedFrom is the checkpointed iteration the run restored before
+	// continuing; 0 for a run started from scratch. The convergence
+	// trace includes the replayed pre-resume iterations either way.
+	ResumedFrom int `json:"resumed_from,omitempty"`
 }
 
 // PhaseReport is one node of the phase tree.
@@ -113,6 +117,7 @@ func (r *Recorder) Report() *Report {
 		rep.Degradations = append([]Degradation(nil), r.degradations...)
 	}
 	rep.Interrupted = r.interrupted
+	rep.ResumedFrom = r.resumedFrom
 	for _, s := range r.roots {
 		rep.Phases = append(rep.Phases, snapshotSpan(s, now))
 	}
@@ -202,6 +207,9 @@ func WriteSummary(w io.Writer, rep *Report) {
 	fmt.Fprintln(w)
 	if rep.Interrupted {
 		fmt.Fprintf(w, "\nINTERRUPTED: the run was cancelled; results are the last committed iteration's partial annotations\n")
+	}
+	if rep.ResumedFrom > 0 {
+		fmt.Fprintf(w, "\nRESUMED: the run restored a checkpoint at iteration %d and continued from there\n", rep.ResumedFrom)
 	}
 	if len(rep.Phases) > 0 {
 		fmt.Fprintf(w, "\n%-42s %12s  %s\n", "phase", "duration", "notes")

@@ -1,0 +1,210 @@
+package bdrmapit
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+	"repro/simnet"
+)
+
+// resumeTopologies are the example-program topologies the golden resume
+// tests replay: the quickstart network and the vantage-point-sweep
+// network, so resume correctness is proven on the exact datasets the
+// documentation tells users to start from.
+var resumeTopologies = []struct {
+	name string
+	gen  simnet.Options
+}{
+	{"quickstart", simnet.Options{Small: true, Seed: 42}},
+	{"vpsweep", simnet.Options{Small: true, Seed: 5, NumVPs: 20}},
+}
+
+func writeTopology(t *testing.T, gen simnet.Options) *simnet.DatasetPaths {
+	t.Helper()
+	n, err := simnet.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := n.WriteDataset(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func topoSources(p *simnet.DatasetPaths) Sources {
+	return Sources{
+		TraceroutePaths:     []string{p.Traceroutes},
+		BGPRIBPaths:         []string{p.RIB},
+		RIRDelegationPaths:  []string{p.Delegations},
+		IXPPrefixListPaths:  []string{p.IXPPrefixes},
+		ASRelationshipPaths: []string{p.Relationships},
+		AliasNodePaths:      []string{p.Aliases},
+	}
+}
+
+func runTopo(t *testing.T, p *simnet.DatasetPaths, opts Options) (*Result, error) {
+	t.Helper()
+	opts.WarnWriter = io.Discard
+	if opts.Recorder == nil {
+		opts.Recorder = obs.New()
+	}
+	return Run(topoSources(p), opts)
+}
+
+func annotationBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Annotations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeAtEveryIterationGolden is the end-to-end resume guarantee
+// on both example topologies: interrupt the run after every possible
+// committed iteration k, resume through the public API, and the final
+// annotation bytes, loop metadata, and stitched convergence trace are
+// identical to a run that was never interrupted.
+func TestResumeAtEveryIterationGolden(t *testing.T) {
+	for _, topo := range resumeTopologies {
+		topo := topo
+		t.Run(topo.name, func(t *testing.T) {
+			p := writeTopology(t, topo.gen)
+			full, err := runTopo(t, p, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !full.Converged {
+				t.Fatalf("%s topology no longer converges", topo.name)
+			}
+			want := annotationBytes(t, full)
+			wantTrace := full.Report.Series["refine.iterations"]
+			total := full.Iterations
+
+			for k := 1; k < total; k++ {
+				dir := t.TempDir()
+				capped, err := runTopo(t, p, Options{
+					Workers:       1,
+					MaxIterations: k,
+					CheckpointDir: dir,
+				})
+				if err != nil {
+					t.Fatalf("k=%d: capped run: %v", k, err)
+				}
+				if capped.Iterations != k {
+					t.Fatalf("k=%d: capped run stopped at %d", k, capped.Iterations)
+				}
+				// Resume at a different worker count: snapshots are
+				// worker-invariant by construction.
+				res, err := runTopo(t, p, Options{
+					Workers:       2,
+					CheckpointDir: dir,
+					Resume:        true,
+				})
+				if err != nil {
+					t.Fatalf("k=%d: resume: %v", k, err)
+				}
+				if res.ResumedFrom != k {
+					t.Errorf("k=%d: ResumedFrom=%d", k, res.ResumedFrom)
+				}
+				if res.Iterations != total || !res.Converged {
+					t.Errorf("k=%d: resumed run iter=%d conv=%v, want %d/true",
+						k, res.Iterations, res.Converged, total)
+				}
+				if got := annotationBytes(t, res); !bytes.Equal(got, want) {
+					t.Errorf("k=%d: resumed annotations differ from uninterrupted run", k)
+				}
+				gotTrace := res.Report.Series["refine.iterations"]
+				if len(gotTrace) != len(wantTrace) {
+					t.Fatalf("k=%d: stitched trace has %d rows, want %d", k, len(gotTrace), len(wantTrace))
+				}
+				for i, wr := range wantTrace {
+					for key, v := range wr {
+						if gotTrace[i][key] != v {
+							t.Errorf("k=%d: trace row %d key %q = %d, want %d",
+								k, i, key, gotTrace[i][key], v)
+						}
+					}
+				}
+				if res.Report.ResumedFrom != k {
+					t.Errorf("k=%d: Report.ResumedFrom=%d", k, res.Report.ResumedFrom)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeRefusesForeignCheckpoint covers the public-API refusal
+// paths: resuming against edited inputs, different heuristics, a
+// missing snapshot, or another topology's checkpoint must fail with the
+// typed errors, never silently produce a blended result.
+func TestResumeRefusesForeignCheckpoint(t *testing.T) {
+	p := writeTopology(t, simnet.Options{Small: true, Seed: 42})
+	dir := t.TempDir()
+	if _, err := runTopo(t, p, Options{Workers: 1, MaxIterations: 1, CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("edited-input", func(t *testing.T) {
+		edited := *p
+		mut := filepath.Join(t.TempDir(), "as-rel.txt")
+		data, err := os.ReadFile(p.Relationships)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(mut, append(data, []byte("# trailing comment\n")...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		edited.Relationships = mut
+		_, err = runTopo(t, &edited, Options{Workers: 1, CheckpointDir: dir, Resume: true})
+		var me *ckpt.MismatchError
+		if !errors.As(err, &me) || me.Field != "inputs" {
+			t.Fatalf("err = %v, want *MismatchError{Field: inputs}", err)
+		}
+	})
+	t.Run("different-options", func(t *testing.T) {
+		_, err := runTopo(t, p, Options{
+			Workers: 1, DisableHiddenAS: true,
+			CheckpointDir: dir, Resume: true,
+		})
+		var me *ckpt.MismatchError
+		if !errors.As(err, &me) || me.Field != "options" {
+			t.Fatalf("err = %v, want *MismatchError{Field: options}", err)
+		}
+	})
+	t.Run("missing-checkpoint", func(t *testing.T) {
+		_, err := runTopo(t, p, Options{Workers: 1, CheckpointDir: t.TempDir(), Resume: true})
+		if !errors.Is(err, ckpt.ErrNoCheckpoint) {
+			t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+		}
+	})
+	t.Run("other-topology", func(t *testing.T) {
+		other := writeTopology(t, simnet.Options{Small: true, Seed: 5, NumVPs: 20})
+		_, err := runTopo(t, other, Options{Workers: 1, CheckpointDir: dir, Resume: true})
+		var me *ckpt.MismatchError
+		if !errors.As(err, &me) {
+			t.Fatalf("err = %v, want *MismatchError", err)
+		}
+	})
+}
+
+// TestCheckpointDirCreated: the public API creates the checkpoint
+// directory on demand, so operators can point at a path that does not
+// exist yet.
+func TestCheckpointDirCreated(t *testing.T) {
+	p := writeTopology(t, simnet.Options{Small: true, Seed: 42})
+	dir := filepath.Join(t.TempDir(), "nested", "ckpts")
+	if _, err := runTopo(t, p, Options{Workers: 1, MaxIterations: 1, CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ckpt.FileName)); err != nil {
+		t.Fatalf("snapshot not written into auto-created dir: %v", err)
+	}
+}
