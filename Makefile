@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-static build test race bench smoke fuzz-smoke crash-smoke profile
+.PHONY: ci vet lint lint-static build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke profile profile-micro
 
 ci: vet lint lint-static build test race
 
@@ -34,8 +34,27 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark ladder: run the full pipeline over one rung (RUNG=S|M|L|XL)
+# and write BENCH_$(RUNG).json at the repo root. S and M are CI-sized;
+# L takes minutes and XL is a deliberately long manual run — both are
+# run by hand when regenerating the committed artifacts.
+RUNG ?= S
+BENCH_WORKERS ?= 8
 bench:
+	$(GO) run ./cmd/benchrun -rung $(RUNG) -workers $(BENCH_WORKERS) -out BENCH_$(RUNG).json
+
+# The pre-existing micro-benchmarks over the small topology.
+bench-micro:
 	$(GO) test -short -bench 'BenchmarkRefineWorkers|BenchmarkInferenceWorkers|BenchmarkRefineRecorder' -benchmem .
+
+# CI gate: a fresh S rung end-to-end, validated against the benchfmt
+# schema by reportcheck, plus a ladder check over the committed
+# artifacts. Catches pipeline or schema regressions without paying for
+# the larger rungs.
+bench-smoke:
+	$(GO) run ./cmd/benchrun -rung S -out /tmp/BENCH_S.smoke.json
+	$(GO) run ./cmd/reportcheck -bench /tmp/BENCH_S.smoke.json
+	$(GO) run ./cmd/reportcheck -bench BENCH_S.json,BENCH_M.json,BENCH_L.json
 
 # End-to-end smoke: generate a small simnet dataset, run the CLI with
 # telemetry enabled, and validate the emitted run report (phases parse,
@@ -78,9 +97,20 @@ fuzz-smoke:
 crash-smoke:
 	$(GO) test ./cmd/bdrmapit -run '^TestCrashResume' -count=1 -v
 
-# CPU/heap profiles of the benchmark suite, for pprof inspection:
-#   go tool pprof profiles/refine.cpu.pprof
+# CPU/heap profiles of a full ladder-rung pipeline run (RUNG as above;
+# M is the rung the refinement optimizations were tuned on), for pprof
+# inspection:
+#   go tool pprof -top profiles/bench-M.cpu.pprof
+#   go tool pprof -top -sample_index=alloc_space profiles/bench-M.mem.pprof
 profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/benchrun -rung $(RUNG) -workers $(BENCH_WORKERS) \
+		-out profiles/BENCH_$(RUNG).json \
+		-cpuprofile profiles/bench-$(RUNG).cpu.pprof \
+		-memprofile profiles/bench-$(RUNG).mem.pprof
+
+# Profiles of the micro-benchmark suite (the pre-ladder target).
+profile-micro:
 	mkdir -p profiles
 	$(GO) test -short -run XXX -bench 'BenchmarkRefineWorkers|BenchmarkRefineRecorder' \
 		-cpuprofile profiles/refine.cpu.pprof -memprofile profiles/refine.mem.pprof .

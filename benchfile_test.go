@@ -1,0 +1,69 @@
+package bdrmapit
+
+// Regression gate for the committed benchmark-ladder artifacts: every
+// BENCH_<rung>.json at the repository root must satisfy the current
+// benchfmt schema and, as a set, form a coherent ladder (distinct
+// rungs, monotonically growing topology and campaign). A schema bump
+// without regenerated artifacts, a hand-edited number, or a mis-sized
+// rung config fails here instead of surfacing as incomparable numbers
+// three commits later.
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/topo"
+)
+
+func TestCommittedBenchArtifacts(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json artifacts at the repository root; run `make bench` and commit the output")
+	}
+	sort.Strings(paths)
+	files := make([]*benchfmt.File, 0, len(paths))
+	for _, p := range paths {
+		f, err := benchfmt.Read(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if want := "BENCH_" + f.Rung + ".json"; filepath.Base(p) != want {
+			t.Errorf("%s records rung %q; want file name %s", p, f.Rung, want)
+		}
+		files = append(files, f)
+	}
+	if err := benchfmt.ValidateLadder(files); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		// The committed artifacts are also the record of the
+		// profile-guided refinement optimization: each must carry the
+		// reference comparison, and the M rung is the acceptance gate
+		// for the ≥20% per-iteration improvement.
+		if f.Refine.ReferencePerIterNS <= 0 {
+			t.Errorf("rung %s: no reference comparison recorded (regenerate without -skip-reference)", f.Rung)
+			continue
+		}
+		if f.Refine.SpeedupPct <= 0 {
+			t.Errorf("rung %s: optimized refinement not faster than reference (%.1f%%)", f.Rung, f.Refine.SpeedupPct)
+		}
+		if f.Rung == "M" && f.Refine.SpeedupPct < 20 {
+			t.Errorf("rung M: per-iteration speedup %.1f%%, want >= 20%%", f.Refine.SpeedupPct)
+		}
+	}
+	// The ladder must cover at least S, M, and L; XL stays manual.
+	have := make(map[string]bool, len(files))
+	for _, f := range files {
+		have[f.Rung] = true
+	}
+	for _, rung := range topo.RungNames()[:3] {
+		if !have[rung] {
+			t.Errorf("committed ladder is missing rung %s", rung)
+		}
+	}
+}

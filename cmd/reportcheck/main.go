@@ -11,10 +11,19 @@
 // path, fallback, and error all populated); -allow-interrupted accepts
 // a cancelled run's report.
 //
+// With -bench, reportcheck instead (or additionally) validates
+// benchmark-ladder artifacts: each listed BENCH_<rung>.json must
+// satisfy the benchfmt schema, and when more than one file is given the
+// set must form a coherent ladder (distinct rungs, monotonically
+// growing topologies). CI's bench-smoke job runs a fresh S rung through
+// this; the committed BENCH_* files are regression-gated the same way
+// from the module-level tests.
+//
 // Usage:
 //
 //	reportcheck -report FILE [-counters name,name...]
 //	            [-allow-degraded] [-allow-interrupted]
+//	reportcheck -bench FILE[,FILE...]
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/benchfmt"
 	"repro/internal/obs"
 )
 
@@ -32,15 +42,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reportcheck: ")
 	var (
-		path        = flag.String("report", "", "run report JSON file (required)")
+		path        = flag.String("report", "", "run report JSON file")
+		bench       = flag.String("bench", "", "comma-separated BENCH_<rung>.json files to validate (>1 file: as a ladder)")
 		counters    = flag.String("counters", "", "comma-separated counter names that must be non-zero")
 		allowDegr   = flag.Bool("allow-degraded", false, "accept a report with degraded input sources")
 		allowInterr = flag.Bool("allow-interrupted", false, "accept a report from an interrupted (cancelled) run")
 	)
 	flag.Parse()
-	if *path == "" {
-		log.Fatal("-report is required")
+	if *path == "" && *bench == "" {
+		log.Fatal("-report or -bench is required")
 	}
+
+	if *bench != "" {
+		rungs, err := checkBenchFiles(splitList(*bench))
+		if err != nil {
+			log.Fatalf("FAIL: %v", err)
+		}
+		fmt.Printf("reportcheck: bench ok — %s\n", strings.Join(rungs, ", "))
+		if *path == "" {
+			return
+		}
+	}
+
 	data, err := os.ReadFile(*path)
 	if err != nil {
 		log.Fatal(err)
@@ -110,4 +133,46 @@ func main() {
 	}
 	fmt.Printf("reportcheck: ok — %d phases, %d counters, wall clock %s\n",
 		phases, len(rep.Counters), obs.FormatDuration(rep.WallNS))
+}
+
+// checkBenchFiles reads and validates bench artifacts: each file against
+// the benchfmt schema, and the set as a ladder when more than one is
+// given. It returns a "rung: wall clock" summary per file, in input
+// order.
+func checkBenchFiles(paths []string) ([]string, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-bench: no files given")
+	}
+	files := make([]*benchfmt.File, 0, len(paths))
+	rungs := make([]string, 0, len(paths))
+	for _, p := range paths {
+		f, err := benchfmt.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		rungs = append(rungs, fmt.Sprintf("%s: %s", f.Rung, obs.FormatDuration(f.WallNS)))
+	}
+	var err error
+	if len(files) == 1 {
+		err = files[0].Validate()
+	} else {
+		err = benchfmt.ValidateLadder(files)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rungs, nil
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

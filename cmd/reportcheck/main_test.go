@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+func TestCheckBenchFiles(t *testing.T) {
+	cases := []struct {
+		name    string
+		paths   []string
+		wantErr string // substring; "" = valid
+	}{
+		{"no files", nil, "no files"},
+		{"valid single", []string{fixture("bench_s.json")}, ""},
+		{"valid ladder", []string{fixture("bench_s.json"), fixture("bench_m.json")}, ""},
+		{"ladder order-insensitive", []string{fixture("bench_m.json"), fixture("bench_s.json")}, ""},
+		{"missing file", []string{fixture("bench_absent.json")}, "bench_absent.json"},
+		{"wrong schema version", []string{fixture("bench_wrong_version.json")}, "schema version"},
+		{"missing refine metric", []string{fixture("bench_missing_metric.json")}, `missing required phase "refine"`},
+		{"non-monotone alone is valid", []string{fixture("bench_nonmonotone.json")}, ""},
+		{"non-monotone ladder", []string{fixture("bench_s.json"), fixture("bench_nonmonotone.json")}, "not monotone"},
+		{"duplicate rung", []string{fixture("bench_s.json"), fixture("bench_s.json")}, "duplicate rung"},
+		{"one bad member fails ladder", []string{fixture("bench_s.json"), fixture("bench_wrong_version.json")}, "schema version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rungs, err := checkBenchFiles(tc.paths)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("checkBenchFiles(%v): %v, want nil", tc.paths, err)
+				}
+				if len(rungs) != len(tc.paths) {
+					t.Fatalf("checkBenchFiles(%v): %d summaries, want %d", tc.paths, len(rungs), len(tc.paths))
+				}
+				for i, r := range rungs {
+					if !strings.Contains(r, ":") {
+						t.Errorf("summary %d = %q, want \"rung: wall\" form", i, r)
+					}
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("checkBenchFiles(%v): %v, want error containing %q", tc.paths, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a,b", []string{"a", "b"}},
+		{" a , b ,", []string{"a", "b"}},
+		{",,", nil},
+	}
+	for _, tc := range cases {
+		if got := splitList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

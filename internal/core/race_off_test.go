@@ -1,0 +1,6 @@
+//go:build !race
+
+package core_test
+
+// raceEnabled mirrors race_on_test.go for ordinary builds.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceEnabled gates the larger equivalence datasets out of `go test
+// -race`: the race detector multiplies their run time without adding
+// coverage the SmallConfig equivalence run doesn't already provide.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"hash/fnv"
 	"net/netip"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,6 +60,16 @@ type Options struct {
 	// cancel a context at exactly iteration k and prove interruption
 	// determinism; nothing outside the package can set it.
 	hookIterEnd func(iter int)
+	// ReferenceMode forces the pre-optimization refinement path: fresh
+	// voting maps for every router, a full annotation snapshot every
+	// iteration, and live origin-set/link-selection computation instead
+	// of the caches Finish precomputed. The annotations are byte-
+	// identical to the default optimized path — the equivalence suite
+	// holds the two to that — so, like Workers, the switch can change
+	// only the wall clock. It exists for the benchmark harness (to
+	// measure the optimization) and the regression gate (to prove the
+	// two paths never drift).
+	ReferenceMode bool
 	// DisableDestTieBreak ablates an extension to the §6.1.4 tie-break:
 	// before falling back to the smallest customer cone, a vote tie is
 	// broken toward the AS whose customer cone covers the most of the
@@ -74,6 +85,103 @@ func (o *Options) setDefaults() {
 		o.MaxIterations = 50
 	}
 	o.Workers = shard.Resolve(o.Workers)
+}
+
+// voteScratch is one worker shard's reusable annotation storage. The
+// voting helpers allocate several maps, sets, and slices per router (and
+// a counter per interface) per iteration; profiling the M ladder rung
+// put that churn at the top of the refinement profile. Shard boundaries
+// are pure functions of (n, workers) — shard.Bounds — so shard s sees
+// the same routers every iteration and can reuse one scratch across all
+// of them: maps are cleared in place, sets come from a freelist that
+// recycles between routers (never within one — every set handed out
+// stays live until the router's annotation completes), and result
+// slices reuse their backing arrays. Scratch never crosses shards, so
+// no synchronization is needed. A nil *voteScratch selects the
+// reference (allocate-fresh) path.
+type voteScratch struct {
+	votes    asn.Counter         // annotateRouter's vote tally
+	m        map[asn.ASN]asn.Set // vote AS → backing link origins
+	linkVote map[*Link]asn.ASN   // link → vote it cast
+
+	sets []asn.Set // freelist backing m's values and helper sets
+	used int       // sets[:used] handed out for the current router
+
+	restricted asn.Set     // the §6.1.4 restricted-election set
+	top        []asn.ASN   // tied-max vote storage (maxInto)
+	tied       []asn.ASN   // electFrom's tied-candidate storage
+	cands      []*Link     // fixReallocatedVotes candidate storage
+	ifVotes    asn.Counter // annotateInterface's vote tally
+	related    []asn.ASN   // annotateInterface's related-candidate storage
+}
+
+func newVoteScratch() *voteScratch {
+	return &voteScratch{
+		votes:      make(asn.Counter),
+		m:          make(map[asn.ASN]asn.Set),
+		linkVote:   make(map[*Link]asn.ASN),
+		restricted: asn.NewSet(),
+		ifVotes:    make(asn.Counter),
+	}
+}
+
+// reset readies the scratch for the next router: clears the voting maps
+// and returns every freelist set to the pool. The sets themselves are
+// cleared lazily on handout.
+func (sc *voteScratch) reset() {
+	clear(sc.votes)
+	clear(sc.m)
+	clear(sc.linkVote)
+	sc.used = 0
+}
+
+// newSet hands out an empty set, recycling the freelist before growing.
+func (sc *voteScratch) newSet() asn.Set {
+	if sc.used < len(sc.sets) {
+		s := sc.sets[sc.used]
+		sc.used++
+		clear(s)
+		return s
+	}
+	s := asn.NewSet()
+	sc.sets = append(sc.sets, s)
+	sc.used = len(sc.sets)
+	return s
+}
+
+// scNewSet allocates through the scratch freelist when one is attached,
+// and freshly otherwise (the reference path).
+func scNewSet(sc *voteScratch) asn.Set {
+	if sc != nil {
+		return sc.newSet()
+	}
+	return asn.NewSet()
+}
+
+// maxInto is asn.Counter.Max with caller-owned result storage: the
+// tied-max ASes land in dst[:0] (ascending) with the max count. The
+// optimized path uses it to keep the per-router/per-interface election
+// allocation-free.
+func maxInto(votes asn.Counter, dst []asn.ASN) ([]asn.ASN, int) {
+	best := 0
+	//lint:ignore maporder pure max reduction; every visit order yields the same maximum
+	for _, n := range votes {
+		if n > best {
+			best = n
+		}
+	}
+	out := dst[:0]
+	if best == 0 {
+		return out, 0
+	}
+	//lint:ignore maporder collected in arbitrary order, then sorted ascending below
+	for v, n := range votes {
+		if n == best {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, best
 }
 
 // cycleDetector tracks annotation-state hashes across iterations and
@@ -306,32 +414,88 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			startIter = opts.MaxIterations + 1
 		}
 	}
+	// Per-shard reusable scratch and the changed-set snapshot (nil and
+	// unused in reference mode). Shard boundaries come from shard.Bounds
+	// — a pure function of the element and worker counts — so shard s
+	// covers the same routers every iteration: its scratch never crosses
+	// shards and its changed list indexes exactly the routers it owns.
+	reference := opts.ReferenceMode
+	var routerScratch, ifaceScratch []*voteScratch
+	var changed [][]int // per router-shard: indices changed last iteration
+	if !reference {
+		routerScratch = make([]*voteScratch, len(shard.Bounds(len(g.Routers), opts.Workers)))
+		for i := range routerScratch {
+			routerScratch[i] = newVoteScratch()
+		}
+		ifaceScratch = make([]*voteScratch, len(shard.Bounds(len(g.sortedAddrs), opts.Workers)))
+		for i := range ifaceScratch {
+			ifaceScratch[i] = newVoteScratch()
+		}
+		changed = make([][]int, len(routerScratch))
+	}
+	// fullSnapshot forces step 1 to copy every router's annotation. Once
+	// an iteration commits in full, every router outside its changed set
+	// already satisfies prevAnnotation == Annotation, so subsequent
+	// snapshots shrink to the changed routers. A resumed run restores
+	// Annotation only, so it, like the first iteration, needs the full
+	// copy — which the initial true covers for both.
+	fullSnapshot := true
 	var mu sync.Mutex // merges per-shard tallies into the iteration total
 	for iter := startIter; iter <= opts.MaxIterations; iter++ {
 		var it iterTally
 		// Step 1: snapshot. A cancellation observed here leaves every
 		// annotation at the previous iteration's committed state.
-		if !shard.ForCtx(ctx, len(g.Routers), opts.Workers, func(lo, hi int) {
-			for _, r := range g.Routers[lo:hi] {
-				r.prevAnnotation = r.Annotation
+		if reference || fullSnapshot {
+			if !shard.ForCtx(ctx, len(g.Routers), opts.Workers, func(lo, hi int) {
+				for _, r := range g.Routers[lo:hi] {
+					r.prevAnnotation = r.Annotation
+				}
+			}) {
+				res.Interrupted = true
+				break
 			}
-		}) {
-			res.Interrupted = true
-			break
+		} else {
+			// The per-shard changed lists are disjoint (every router
+			// belongs to exactly one shard), so applying them shards
+			// cleanly over the lists themselves.
+			if !shard.ForCtx(ctx, len(changed), opts.Workers, func(lo, hi int) {
+				for _, idxs := range changed[lo:hi] {
+					for _, idx := range idxs {
+						r := g.Routers[idx]
+						r.prevAnnotation = r.Annotation
+					}
+				}
+			}) {
+				res.Interrupted = true
+				break
+			}
 		}
 		// Step 2: routers. The pass either runs in full or not at all
 		// (batch-boundary cancellation); a refusal leaves the committed
 		// state untouched.
-		if !shard.ForShardsTimedCtx(ctx, len(g.Routers), opts.Workers, func(_, lo, hi int) {
+		if !shard.ForShardsTimedCtx(ctx, len(g.Routers), opts.Workers, func(s, lo, hi int) {
 			var local iterTally
-			for _, r := range g.Routers[lo:hi] {
+			var sc *voteScratch
+			var chg []int
+			if !reference {
+				sc = routerScratch[s]
+				chg = changed[s][:0]
+			}
+			for idx := lo; idx < hi; idx++ {
+				r := g.Routers[idx]
 				if r.LastHop {
 					continue
 				}
-				r.Annotation = annotateRouter(r, rels, opts, &local)
+				r.Annotation = annotateRouter(r, rels, opts, &local, sc)
 				if r.Annotation != r.prevAnnotation {
 					local.changedRouters++
+					if !reference {
+						chg = append(chg, idx)
+					}
 				}
+			}
+			if !reference {
+				changed[s] = chg
 			}
 			if collect {
 				mu.Lock()
@@ -347,19 +511,23 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		// annotations; roll those back to the snapshot so the partial
 		// result is exactly the last fully committed iteration — never a
 		// mixed state with new routers and old interfaces.
-		if !shard.ForShardsTimedCtx(ctx, len(g.sortedAddrs), opts.Workers, func(_, lo, hi int) {
-			var changed int64
+		if !shard.ForShardsTimedCtx(ctx, len(g.sortedAddrs), opts.Workers, func(s, lo, hi int) {
+			var flipped int64
+			var sc *voteScratch
+			if !reference {
+				sc = ifaceScratch[s]
+			}
 			for _, addr := range g.sortedAddrs[lo:hi] {
 				i := g.Interfaces[addr]
 				prev := i.Annotation
-				annotateInterface(i, rels)
+				annotateInterface(i, rels, sc)
 				if i.Annotation != prev {
-					changed++
+					flipped++
 				}
 			}
 			if collect {
 				mu.Lock()
-				it.changedIfaces += changed
+				it.changedIfaces += flipped
 				mu.Unlock()
 			}
 		}, ifaceTiming) {
@@ -372,6 +540,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			break
 		}
 		res.Iterations = iter
+		fullSnapshot = false
 		if collect {
 			row := it.row(iter)
 			traceRows = append(traceRows, row)
@@ -461,15 +630,26 @@ func selectLinks(r *Router) []*Link {
 // annotateRouter implements Algorithm 2 (§6.1): link votes with the
 // Algorithm 3 heuristics, reallocated-prefix correction, interface
 // votes, exception checks, the relationship-restricted election, and
-// the hidden-AS check.
-func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
-	votes := make(asn.Counter)
-	m := make(map[asn.ASN]asn.Set) // vote AS → link origin ASes backing it
-	linkVote := make(map[*Link]asn.ASN)
+// the hidden-AS check. A nil sc selects the reference path (fresh
+// allocations, live caches); otherwise all working storage comes from
+// the shard's scratch.
+func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch) asn.ASN {
+	reference := sc == nil
+	var votes asn.Counter
+	var m map[asn.ASN]asn.Set // vote AS → link origin ASes backing it
+	var linkVote map[*Link]asn.ASN
+	if reference {
+		votes = make(asn.Counter)
+		m = make(map[asn.ASN]asn.Set)
+		linkVote = make(map[*Link]asn.ASN)
+	} else {
+		sc.reset()
+		votes, m, linkVote = sc.votes, sc.m, sc.linkVote
+	}
 
-	links := selectLinks(r)
+	links := r.voteLinksFor(reference)
 	for _, l := range links {
-		a := linkHeuristics(l, rels, opts, t)
+		a := linkHeuristics(l, rels, opts, t, reference)
 		if a == asn.None {
 			continue
 		}
@@ -477,15 +657,15 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 		votes.Inc(a, 1)
 		s, ok := m[a]
 		if !ok {
-			s = asn.NewSet()
+			s = scNewSet(sc)
 			m[a] = s
 		}
-		s.AddAll(l.OriginSet())
+		s.AddAll(l.originSet(reference))
 		linkVote[l] = a
 	}
 
 	if !opts.DisableRealloc {
-		fixReallocatedVotes(r, links, linkVote, votes, m, rels, t)
+		fixReallocatedVotes(r, links, linkVote, votes, m, rels, t, sc)
 	}
 
 	// Alg. 2 line 9: each IR interface votes with its origin AS.
@@ -497,7 +677,7 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 	}
 
 	if !opts.DisableExceptions {
-		if a, ok := exceptionCases(r, linkVote, votes, rels); ok {
+		if a, ok := exceptionCases(r, linkVote, votes, rels, sc); ok {
 			t.heurException++
 			return a
 		}
@@ -512,7 +692,14 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 
 	// Alg. 2 lines 11–12: restrict the election to origin ASes plus
 	// subsequent ASes with a relationship to an origin on their links.
-	restricted := r.OriginSet.Clone()
+	var restricted asn.Set
+	if reference {
+		restricted = r.OriginSet.Clone()
+	} else {
+		clear(sc.restricted)
+		restricted = sc.restricted
+		restricted.AddAll(r.OriginSet)
+	}
 	grew := false
 	//lint:ignore maporder set insertion and a boolean flag; neither depends on which vote AS is visited first
 	for v := range votes {
@@ -528,18 +715,24 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 		}
 	}
 	if grew {
-		if w := electFrom(r, votes, restricted, rels, opts, t); w != asn.None {
+		if w := electFrom(r, votes, restricted, rels, opts, t, sc); w != asn.None {
 			return w
 		}
 	}
 
 	// Alg. 2 lines 13–14: unrestricted election, then hidden-AS check.
-	top, _ := votes.Max()
+	var top []asn.ASN
+	if reference {
+		top, _ = votes.Max()
+	} else {
+		top, _ = maxInto(votes, sc.top)
+		sc.top = top
+	}
 	a := breakTie(r, top, rels, opts, t)
 	if opts.DisableHiddenAS || a == asn.None {
 		return a
 	}
-	h := hiddenAS(r, a, m[a], rels)
+	h := hiddenAS(r, a, m[a], rels, sc)
 	if h != a {
 		t.heurHiddenAS++
 	}
@@ -548,7 +741,7 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 
 // electFrom picks the AS with the most votes among the allowed set.
 // asn.None when no allowed AS has votes.
-func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
+func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch) asn.ASN {
 	best := 0
 	//lint:ignore maporder pure max reduction; every visit order yields the same maximum
 	for v, n := range votes {
@@ -560,11 +753,17 @@ func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipO
 		return asn.None
 	}
 	var tied []asn.ASN
+	if sc != nil {
+		tied = sc.tied[:0]
+	}
 	//lint:ignore maporder tied's element order varies but its contents do not, and breakTie reduces it by total orders only
 	for v, n := range votes {
 		if allowed.Has(v) && n == best {
 			tied = append(tied, v)
 		}
+	}
+	if sc != nil {
+		sc.tied = tied
 	}
 	return breakTie(r, tied, rels, opts, t)
 }
@@ -634,9 +833,9 @@ func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options, 
 // linkHeuristics implements Algorithm 3 (§6.1.1): the vote contributed
 // by one link, with special cases for IXP addresses, unannounced
 // addresses, and third-party addresses.
-func linkHeuristics(l *Link, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
+func linkHeuristics(l *Link, rels RelationshipOracle, opts Options, t *iterTally, reference bool) asn.ASN {
 	j := l.To
-	origins := l.OriginSet()
+	origins := l.originSet(reference)
 
 	// Line 1: subsequent origin already among the link's origins.
 	if j.Origin != asn.None && origins.Has(j.Origin) {
@@ -648,7 +847,7 @@ func linkHeuristics(l *Link, rels RelationshipOracle, opts Options, t *iterTally
 	// reasoning, §6.1.1).
 	if j.Kind == ip2as.IXP {
 		t.heurIXP++
-		return rels.LargestCone(origins.Sorted())
+		return rels.LargestCone(l.originSorted(reference))
 	}
 	// The neighbour IR's annotation comes from the previous iteration's
 	// snapshot: within an iteration every router reads the same
@@ -689,9 +888,13 @@ func linkHeuristics(l *Link, rels RelationshipOracle, opts Options, t *iterTally
 // reallocated prefix and their votes move from the provider to the
 // customer.
 func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
-	votes asn.Counter, m map[asn.ASN]asn.Set, rels RelationshipOracle, t *iterTally) {
+	votes asn.Counter, m map[asn.ASN]asn.Set, rels RelationshipOracle, t *iterTally, sc *voteScratch) {
 
 	var cands []*Link
+	if sc != nil {
+		cands = sc.cands[:0]
+		defer func() { sc.cands = cands }()
+	}
 	for _, l := range links {
 		if l.To.Origin != asn.None && r.OriginSet.Has(l.To.Origin) {
 			cands = append(cands, l)
@@ -740,10 +943,10 @@ func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
 		linkVote[l] = annot
 		s, ok := m[annot]
 		if !ok {
-			s = asn.NewSet()
+			s = scNewSet(sc)
 			m[annot] = s
 		}
-		s.AddAll(l.OriginSet())
+		s.AddAll(l.originSet(sc == nil))
 	}
 }
 
@@ -751,9 +954,9 @@ func fixReallocatedVotes(r *Router, links []*Link, linkVote map[*Link]asn.ASN,
 // and the multiple-peers/providers exception. ok reports whether an
 // exception fired.
 func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
-	rels RelationshipOracle) (asn.ASN, bool) {
+	rels RelationshipOracle, sc *voteScratch) (asn.ASN, bool) {
 
-	subs := asn.NewSet()
+	subs := scNewSet(sc)
 	//lint:ignore maporder set insertion commutes; subs is only read via Len, Has, and Sorted
 	for _, v := range linkVote {
 		if v != asn.None {
@@ -776,7 +979,18 @@ func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
 
 	// Multiple peers/providers: the common denominator operates the IR,
 	// provided it retains at least half the top vote count.
-	_, maxVotes := votes.Max()
+	var maxVotes int
+	if sc != nil {
+		// Only the count is needed; skip Max's tied-key slice.
+		//lint:ignore maporder pure max reduction; every visit order yields the same maximum
+		for _, n := range votes {
+			if n > maxVotes {
+				maxVotes = n
+			}
+		}
+	} else {
+		_, maxVotes = votes.Max()
+	}
 	halfOK := func(a asn.ASN) bool { return votes[a]*2 >= maxVotes }
 
 	if r.OriginSet.Len() == 1 && subs.Len() > 1 {
@@ -812,7 +1026,7 @@ func exceptionCases(r *Router, linkVote map[*Link]asn.ASN, votes asn.Counter,
 // with any IR origin AS, look for a single AS bridging the link origins
 // and the selection — a customer of a link origin that is a provider of
 // the selection (Fig. 12) — and use it instead.
-func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOracle) asn.ASN {
+func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOracle, sc *voteScratch) asn.ASN {
 	if r.OriginSet.Has(selected) {
 		return selected
 	}
@@ -821,7 +1035,7 @@ func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOra
 			return selected
 		}
 	}
-	bridges := asn.NewSet()
+	bridges := scNewSet(sc)
 	//lint:ignore maporder set insertion commutes; bridges is only read via Len and Sorted
 	for p := range rels.Providers(selected) {
 		for o := range backing {
@@ -855,7 +1069,7 @@ func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOra
 // from its IR's annotation the origin identifies the far router;
 // otherwise the connected IRs vote, weighted by how many of their
 // interfaces preceded this one in traceroutes.
-func annotateInterface(i *Interface, rels RelationshipOracle) {
+func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch) {
 	if i.Kind == ip2as.IXP || i.Origin == asn.None {
 		return
 	}
@@ -872,7 +1086,13 @@ func annotateInterface(i *Interface, rels RelationshipOracle) {
 			best = l.Label
 		}
 	}
-	votes := make(asn.Counter)
+	var votes asn.Counter
+	if sc != nil {
+		clear(sc.ifVotes)
+		votes = sc.ifVotes
+	} else {
+		votes = make(asn.Counter)
+	}
 	for _, l := range i.InLinks {
 		if l.Label != best {
 			continue
@@ -881,7 +1101,13 @@ func annotateInterface(i *Interface, rels RelationshipOracle) {
 			votes.Inc(a, len(l.Prev))
 		}
 	}
-	top, _ := votes.Max()
+	var top []asn.ASN
+	if sc != nil {
+		top, _ = maxInto(votes, sc.top)
+		sc.top = top
+	} else {
+		top, _ = votes.Max()
+	}
 	switch len(top) {
 	case 0:
 		i.Annotation = i.Origin
@@ -889,10 +1115,16 @@ func annotateInterface(i *Interface, rels RelationshipOracle) {
 		i.Annotation = top[0]
 	default:
 		var related []asn.ASN
+		if sc != nil {
+			related = sc.related[:0]
+		}
 		for _, t := range top {
 			if rels.HasRelationship(t, i.Origin) {
 				related = append(related, t)
 			}
+		}
+		if sc != nil {
+			sc.related = related
 		}
 		if len(related) > 0 {
 			i.Annotation = rels.LargestCone(related)

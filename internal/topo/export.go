@@ -54,10 +54,20 @@ func (in *Internet) exportAnnouncements() {
 			hostHalf := netip.PrefixFrom(a.Space.Addr(), 20)
 			in.announcements = append(in.announcements,
 				announcement{prefix: hostHalf, origin: a.ASN})
+			for _, p := range a.ExtraSpace {
+				in.prefixOwner[p] = a
+			}
 		default:
 			in.prefixOwner[a.Space] = a
 			in.announcements = append(in.announcements,
 				announcement{prefix: a.Space, origin: a.ASN})
+			// Extra infrastructure aggregates are announced like the
+			// primary one, so spilled link space resolves identically.
+			for _, p := range a.ExtraSpace {
+				in.prefixOwner[p] = a
+				in.announcements = append(in.announcements,
+					announcement{prefix: p, origin: a.ASN})
+			}
 		}
 		// Occasional MOAS: another AS also announces the host /24 to
 		// half the collectors.
@@ -130,6 +140,9 @@ func (in *Internet) exportRIR() {
 			continue // reallocated space is delegated to the provider
 		}
 		in.Delegations.AddPrefix(a.Space, a.ASN)
+		for _, p := range a.ExtraSpace {
+			in.Delegations.AddPrefix(p, a.ASN)
+		}
 	}
 }
 
@@ -152,6 +165,13 @@ func (in *Internet) RIRRecords() []rir.Record {
 			Start: a.Space.Addr().String(), Value: 1 << 16,
 			Date: "20180201", Status: "allocated", OpaqueID: oid,
 		})
+		for _, p := range a.ExtraSpace {
+			recs = append(recs, rir.Record{
+				Registry: "simrir", CC: "ZZ", Type: "ipv4",
+				Start: p.Addr().String(), Value: 1 << 16,
+				Date: "20180201", Status: "allocated", OpaqueID: oid,
+			})
+		}
 	}
 	return recs
 }

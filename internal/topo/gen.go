@@ -367,27 +367,62 @@ func (a *AS) nextLoopback() netip.Addr {
 	return netip.AddrFrom4([4]byte{b[0], b[1], byte(224 + off/256), byte(off % 256)})
 }
 
-// nextLinkNet allocates the next /30 from the AS's infrastructure pool,
-// or from its unannounced pool when flagged.
-func (a *AS) nextLinkNetwork() netip.Prefix {
+// linkWindowAddrs is the size of the per-AS infrastructure window
+// x.x.240.0/20 inside the aggregate: 16 /24s, i.e. 1024 /30 link nets.
+// An AS that outgrows it (thousands of links — upper ladder rungs)
+// spills into extra /16 aggregates instead of wrapping around into its
+// own host space.
+const linkWindowAddrs = 1 << 12
+
+// nextLinkNetwork allocates the next /30 from a's infrastructure pool:
+// the realloc block for reallocated customers, the unannounced pool
+// when flagged, otherwise the x.x.240.0/20 window of the aggregate with
+// extra-aggregate spill once the window is exhausted.
+func (in *Internet) nextLinkNetwork(a *AS) (netip.Prefix, error) {
 	if a.ReallocFrom != nil {
 		// Links from the second /24 of the realloc block.
 		b := a.ReallocPrefix.Addr().As4()
 		net := a.nextLinkNet
 		a.nextLinkNet += 4
-		return netip.PrefixFrom(netip.AddrFrom4([4]byte{b[0], b[1], b[2] + 1, byte(net)}), 30)
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{b[0], b[1], b[2] + 1, byte(net)}), 30), nil
 	}
 	var base [4]byte
 	if a.UnannLinks {
 		base = a.unannBase.Addr().As4()
 		net := a.nextLinkNet
 		a.nextLinkNet += 4
-		return netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(net / 256), byte(net % 256)}), 30)
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(net / 256), byte(net % 256)}), 30), nil
 	}
-	base = a.Space.Addr().As4()
 	net := a.nextLinkNet
 	a.nextLinkNet += 4
-	return netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(240 + net/256), byte(net % 256)}), 30)
+	if net >= linkWindowAddrs {
+		spill := net - linkWindowAddrs
+		for int(spill>>16) >= len(a.ExtraSpace) {
+			extra, err := in.takeExtraSpace()
+			if err != nil {
+				return netip.Prefix{}, fmt.Errorf("topo: AS %d: %w", a.ASN, err)
+			}
+			a.ExtraSpace = append(a.ExtraSpace, extra)
+		}
+		eb := a.ExtraSpace[spill>>16].Addr().As4()
+		off := spill & 0xffff
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{eb[0], eb[1], byte(off / 256), byte(off % 256)}), 30), nil
+	}
+	base = a.Space.Addr().As4()
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{base[0], base[1], byte(240 + net/256), byte(net % 256)}), 30), nil
+}
+
+// takeExtraSpace hands out the next /16 from the reserved
+// 12.0.0.0 … 19.255.0.0 plane — below the 20.0.0.0+ per-AS aggregates
+// and clear of the unannounced (9.x) and IXP (11.x) pools.
+func (in *Internet) takeExtraSpace() (netip.Prefix, error) {
+	const maxExtra = 8 * 256
+	idx := in.extraSpaceIdx
+	if idx >= maxExtra {
+		return netip.Prefix{}, fmt.Errorf("topo: extra infrastructure aggregates exhausted (%d handed out)", maxExtra)
+	}
+	in.extraSpaceIdx++
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(12 + idx/256), byte(idx % 256), 0, 0}), 16), nil
 }
 
 // coreCount returns how many core routers an AS of this type gets.
@@ -409,11 +444,22 @@ func coreCount(t ASType, hidden bool) int {
 	}
 }
 
+// coreScale normalizes Config.CoreScale.
+func (in *Internet) coreScale() int {
+	if in.Cfg.CoreScale > 1 {
+		return in.Cfg.CoreScale
+	}
+	return 1
+}
+
 // makeRouters creates each AS's core chain, host device, and the
 // internal links between them.
 func (in *Internet) makeRouters() error {
 	for _, a := range in.ASList {
 		n := coreCount(a.Type, a.Hidden)
+		if !a.Hidden {
+			n *= in.coreScale()
+		}
 		for c := 0; c < n; c++ {
 			r := in.newRouter(a)
 			if _, err := in.addIface(r, a.nextLoopback()); err != nil {
@@ -446,7 +492,10 @@ func (in *Internet) makeRouters() error {
 // linkRouters creates an internal point-to-point link between two
 // routers of AS a, numbered from a's pool.
 func (in *Internet) linkRouters(r1, r2 *Router, a *AS) error {
-	net := a.nextLinkNetwork()
+	net, err := in.nextLinkNetwork(a)
+	if err != nil {
+		return err
+	}
 	i1, err := in.addIface(r1, netutil.NthAddr(net, 1))
 	if err != nil {
 		return err
@@ -533,7 +582,10 @@ func (in *Internet) makeInterdomainLinks() error {
 		}
 		// Choose the addressing side.
 		owner := in.linkAddressOwner(e)
-		net := owner.nextLinkNetwork()
+		net, err := in.nextLinkNetwork(owner)
+		if err != nil {
+			return err
+		}
 		ia, err := in.addIface(ra, netutil.NthAddr(net, 1))
 		if err != nil {
 			return err

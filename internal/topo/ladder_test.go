@@ -1,0 +1,83 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLadderRungs(t *testing.T) {
+	prevRouters := 0
+	for i, name := range RungNames() {
+		r, err := LadderRung(name, 42)
+		if err != nil {
+			t.Fatalf("LadderRung(%q): %v", name, err)
+		}
+		if r.Name != name {
+			t.Fatalf("rung %q reports name %q", name, r.Name)
+		}
+		if RungIndex(name) != i {
+			t.Fatalf("RungIndex(%q) = %d, want %d", name, RungIndex(name), i)
+		}
+		if RungIndex(strings.ToLower(name)) != i {
+			t.Fatalf("RungIndex(%q) not case-insensitive", strings.ToLower(name))
+		}
+		if r.Cfg.Seed != 42 {
+			t.Fatalf("rung %q: seed %d, want 42", name, r.Cfg.Seed)
+		}
+		if r.Cfg.EnableIPv6 {
+			t.Fatalf("rung %q: IPv6 enabled", name)
+		}
+		if r.Cfg.RouteCacheTrees <= 0 {
+			t.Fatalf("rung %q: unbounded routing-tree cache", name)
+		}
+		if r.NumVPs <= 0 || r.Chunk <= 0 {
+			t.Fatalf("rung %q: campaign shape %d VPs chunk %d", name, r.NumVPs, r.Chunk)
+		}
+		// Ladder monotonicity in expectation: configured router
+		// populations must grow strictly (cores × (AS populations)).
+		routers := (r.Cfg.NumTier1 + r.Cfg.NumTransit + r.Cfg.NumAccess + r.Cfg.NumRE + r.Cfg.NumStub)
+		if r.Cfg.CoreScale > 1 {
+			routers *= r.Cfg.CoreScale
+		}
+		if routers <= prevRouters {
+			t.Fatalf("rung %q not larger than its predecessor (%d vs %d AS-scaled units)", name, routers, prevRouters)
+		}
+		prevRouters = routers
+	}
+	if _, err := LadderRung("XXL", 1); err == nil {
+		t.Fatal("LadderRung accepted unknown rung")
+	}
+	if RungIndex("XXL") != -1 {
+		t.Fatal("RungIndex accepted unknown rung")
+	}
+}
+
+func TestCoreScaleMultipliesRouters(t *testing.T) {
+	base := SmallConfig(9)
+	scaled := SmallConfig(9)
+	scaled.CoreScale = 3
+
+	inBase, errA := Generate(base)
+	inScaled, errB := Generate(scaled)
+	if errA != nil || errB != nil {
+		t.Fatalf("Generate: %v / %v", errA, errB)
+	}
+	if len(inScaled.Routers) <= len(inBase.Routers) {
+		t.Fatalf("CoreScale=3 yielded %d routers vs %d unscaled", len(inScaled.Routers), len(inBase.Routers))
+	}
+	// Hidden-transit ASes keep their single core router at any scale.
+	for _, a := range inScaled.ASList {
+		if a.Hidden && len(a.Cores) != 1 {
+			t.Fatalf("hidden AS %v has %d core routers under CoreScale", a.ASN, len(a.Cores))
+		}
+	}
+	// Scaling must not disturb addressing invariants: regenerate and
+	// compare deterministically.
+	again, err := Generate(scaled)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(again.Routers) != len(inScaled.Routers) || len(again.IfaceByAddr) != len(inScaled.IfaceByAddr) {
+		t.Fatal("CoreScale generation not deterministic")
+	}
+}

@@ -21,9 +21,17 @@ func sortPairKeys(keys [][2]asn.ASN) {
 // BGP-invisible edges are excluded: they carry no announcements, so
 // only the local override in nextHop uses them. The cache is guarded
 // so campaigns can simulate traceroutes from many goroutines.
+//
+// When max > 0 the cache is bounded: insertion beyond the cap evicts
+// the oldest entries (FIFO). Trees are pure functions of the topology,
+// so eviction can only cost recomputation, never change a path — which
+// is what lets the large benchmark-ladder rungs stream campaigns in
+// O(max · ASes) memory instead of O(ASes²).
 type routingState struct {
 	mu    sync.RWMutex
 	trees map[asn.ASN]*routeTree
+	order []asn.ASN // insertion order of live entries, oldest first
+	max   int       // 0 = unbounded
 }
 
 // routeTree is the outcome of simulating BGP route propagation toward
@@ -48,7 +56,18 @@ const (
 )
 
 func (in *Internet) initRouting() {
-	in.routing = &routingState{trees: make(map[asn.ASN]*routeTree)}
+	in.routing = &routingState{
+		trees: make(map[asn.ASN]*routeTree),
+		max:   in.Cfg.RouteCacheTrees,
+	}
+}
+
+// treeCacheSize reports how many routing trees are currently cached —
+// the quantity the streaming-generation memory bound is stated in.
+func (in *Internet) treeCacheSize() int {
+	in.routing.mu.RLock()
+	defer in.routing.mu.RUnlock()
+	return len(in.routing.trees)
 }
 
 // visibleNeighbors enumerates d's neighbours over BGP-visible edges,
@@ -85,6 +104,14 @@ func (in *Internet) tree(dst asn.ASN) *routeTree {
 		t = prev
 	} else {
 		in.routing.trees[dst] = t
+		in.routing.order = append(in.routing.order, dst)
+		if in.routing.max > 0 {
+			for len(in.routing.trees) > in.routing.max {
+				old := in.routing.order[0]
+				in.routing.order = in.routing.order[1:]
+				delete(in.routing.trees, old)
+			}
+		}
 	}
 	in.routing.mu.Unlock()
 	return t

@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"repro/internal/traceroute"
+)
+
+// StreamCampaign probes every target from every VP — the same
+// (vp, target) pairs, seeds, and per-trace results as RunCampaign —
+// but hands traces to emit in bounded chunks instead of materializing
+// the archive, and walks destinations in the outer loop so consecutive
+// traces share a routing tree. Combined with Config.RouteCacheTrees
+// this keeps generation memory independent of the AS population: the
+// live state is one chunk of traces plus a bounded tree cache, where
+// RunCampaign holds every trace and (unbounded) one tree per probed
+// destination AS.
+//
+// Emission order is (target, then VP), both in the caller's order —
+// deterministic and independent of chunk: concatenating the chunks of
+// any chunk size yields the same sequence. Each (vp, target) pair uses
+// the same independent seeded rng as RunCampaign, so the two campaigns
+// produce identical trace sets (ordered differently: RunCampaign is
+// VP-major).
+//
+// chunk <= 0 means one emit with the whole campaign. The slice passed
+// to emit is reused between calls; callers that retain traces past the
+// callback must copy the slice (the *Trace values themselves are never
+// reused). A non-nil error from emit aborts the campaign and is
+// returned unchanged.
+func (in *Internet) StreamCampaign(vps []VP, targets []netip.Addr, chunk int,
+	emit func([]*traceroute.Trace) error) error {
+
+	if chunk <= 0 {
+		chunk = len(vps)*len(targets) + 1
+	}
+	buf := make([]*traceroute.Trace, 0, chunk)
+	for _, dst := range targets {
+		for _, vp := range vps {
+			if dst == vp.Src {
+				continue
+			}
+			seed := in.Cfg.Seed ^ int64(vp.AS.ASN)<<32 ^ int64(addrSeed(dst))
+			rng := rand.New(rand.NewSource(seed))
+			t := in.Traceroute(vp, dst, rng)
+			if t == nil || len(t.Hops) == 0 {
+				continue
+			}
+			buf = append(buf, t)
+			if len(buf) >= chunk {
+				if err := emit(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		return emit(buf)
+	}
+	return nil
+}
+
+// CollectCampaign runs StreamCampaign and gathers every chunk into one
+// archive — the convenience path for consumers (like the benchmark
+// harness) that need the traces in memory anyway but want the bounded
+// routing-tree footprint of destination-major generation.
+func (in *Internet) CollectCampaign(vps []VP, targets []netip.Addr, chunk int) []*traceroute.Trace {
+	var out []*traceroute.Trace
+	// The emit callback never fails, so neither can the campaign.
+	_ = in.StreamCampaign(vps, targets, chunk, func(ts []*traceroute.Trace) error {
+		out = append(out, ts...)
+		return nil
+	})
+	return out
+}

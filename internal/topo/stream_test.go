@@ -1,0 +1,213 @@
+package topo
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/traceroute"
+)
+
+// traceKey serializes a trace completely enough that two traces compare
+// equal iff the inference pipeline cannot tell them apart.
+func traceKey(t *traceroute.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s>%s", t.Src, t.Dst)
+	for _, h := range t.Hops {
+		fmt.Fprintf(&b, "|%s/%d/%d", h.Addr, h.ProbeTTL, uint8(h.Reply))
+	}
+	return b.String()
+}
+
+func TestStreamCampaignChunkInvariance(t *testing.T) {
+	cfg := SmallConfig(7)
+	cfg.RouteCacheTrees = 8 // exercise eviction while streaming
+	in, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	vps := in.SelectVPs(6, nil)
+	targets := in.Targets()
+
+	collect := func(chunk int) []string {
+		var keys []string
+		err := in.StreamCampaign(vps, targets, chunk, func(ts []*traceroute.Trace) error {
+			if chunk > 0 && len(ts) > chunk {
+				t.Fatalf("chunk %d: emit received %d traces", chunk, len(ts))
+			}
+			for _, tr := range ts {
+				keys = append(keys, traceKey(tr))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("StreamCampaign(chunk=%d): %v", chunk, err)
+		}
+		return keys
+	}
+
+	want := collect(0) // single emit: the whole campaign
+	if len(want) == 0 {
+		t.Fatal("campaign produced no traces")
+	}
+	for _, chunk := range []int{1, 7, 64, len(want) * 2} {
+		got := collect(chunk)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d traces, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: trace %d differs:\n got %s\nwant %s", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamCampaignMatchesRunCampaign(t *testing.T) {
+	// Two independently generated instances of the same seed, so the
+	// bounded-cache streaming path cannot share any memoized routing
+	// state with the unbounded RunCampaign path.
+	cfgA := SmallConfig(11)
+	cfgA.RouteCacheTrees = 4
+	inA, errA := Generate(cfgA)
+	inB, errB := Generate(SmallConfig(11))
+	if errA != nil || errB != nil {
+		t.Fatalf("Generate: %v / %v", errA, errB)
+	}
+
+	vpsA, vpsB := inA.SelectVPs(5, nil), inB.SelectVPs(5, nil)
+	targetsA, targetsB := inA.Targets(), inB.Targets()
+
+	var streamed []string
+	err := inA.StreamCampaign(vpsA, targetsA, 16, func(ts []*traceroute.Trace) error {
+		for _, tr := range ts {
+			streamed = append(streamed, traceKey(tr))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamCampaign: %v", err)
+	}
+	var ran []string
+	for _, tr := range inB.RunCampaign(vpsB, targetsB) {
+		ran = append(ran, traceKey(tr))
+	}
+
+	sort.Strings(streamed)
+	sort.Strings(ran)
+	if len(streamed) != len(ran) {
+		t.Fatalf("streamed %d traces, RunCampaign produced %d", len(streamed), len(ran))
+	}
+	for i := range streamed {
+		if streamed[i] != ran[i] {
+			t.Fatalf("trace sets differ at %d:\n stream %s\n    run %s", i, streamed[i], ran[i])
+		}
+	}
+}
+
+func TestStreamCampaignBoundsTreeCache(t *testing.T) {
+	const bound = 6
+	cfg := SmallConfig(3)
+	cfg.RouteCacheTrees = bound
+	in, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	vps := in.SelectVPs(4, nil)
+	targets := in.Targets()
+
+	if err := in.StreamCampaign(vps, targets, 32, func(ts []*traceroute.Trace) error {
+		if n := in.treeCacheSize(); n > bound {
+			return fmt.Errorf("tree cache holds %d trees mid-campaign, bound %d", n, bound)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := in.treeCacheSize(); n > bound {
+		t.Fatalf("tree cache holds %d trees after campaign, bound %d", n, bound)
+	}
+
+	// The same campaign against an unbounded cache accumulates well past
+	// the bound — the growth the bound exists to cut off.
+	un, err := Generate(SmallConfig(3))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	_ = un.CollectCampaign(un.SelectVPs(4, nil), un.Targets(), 32)
+	if n := un.treeCacheSize(); n <= bound {
+		t.Fatalf("unbounded cache holds %d trees; expected more than %d (bound has nothing to prove)", n, bound)
+	}
+}
+
+// TestStreamCampaignMemoryBounded is the allocation-budget regression
+// gate: streaming a campaign with a bounded tree cache and a discarding
+// consumer must keep live-heap growth far below what materializing the
+// archive plus one routing tree per destination AS costs. The bound is
+// deliberately generous (GC timing noise), but the unbounded path on
+// the same topology exceeds it several times over.
+func TestStreamCampaignMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory measurement in -short mode")
+	}
+	cfg := DefaultConfig(5)
+	cfg.EnableIPv6 = false
+	cfg.RouteCacheTrees = 8
+	in, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	vps := in.SelectVPs(6, nil)
+	targets := in.Targets()
+
+	live := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	base := live()
+	peak := uint64(0)
+	emits := 0
+	err = in.StreamCampaign(vps, targets, 256, func(ts []*traceroute.Trace) error {
+		emits++
+		if emits%8 == 0 {
+			if h := live(); h > peak {
+				peak = h
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamCampaign: %v", err)
+	}
+	if h := live(); h > peak {
+		peak = h
+	}
+
+	const budget = 24 << 20 // 24 MiB of headroom over the pre-campaign heap
+	if peak > base+budget {
+		t.Fatalf("streaming campaign grew live heap by %d MiB (base %d MiB, peak %d MiB); budget %d MiB",
+			(peak-base)>>20, base>>20, peak>>20, uint64(budget)>>20)
+	}
+
+	// Reference point: the materializing path on a fresh instance of the
+	// same topology holds every trace and every routing tree at once.
+	un, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	unBase := live()
+	traces := un.RunCampaign(un.SelectVPs(6, nil), un.Targets())
+	unPeak := live()
+	if len(traces) == 0 {
+		t.Fatal("campaign produced no traces")
+	}
+	if unPeak-unBase <= budget {
+		t.Fatalf("materialized campaign grew live heap by only %d MiB; budget %d MiB distinguishes nothing",
+			(unPeak-unBase)>>20, uint64(budget)>>20)
+	}
+}

@@ -122,6 +122,23 @@ type Config struct {
 	// views.
 	Collectors int
 
+	// CoreScale multiplies every AS's core-router chain length (values
+	// <= 1 mean no scaling). The AS-number plan and the /16-per-AS
+	// address plan cap the AS population, so the benchmark ladder's
+	// larger rungs grow router counts through longer intra-AS chains
+	// instead. Hidden-transit ASes keep their single router — their
+	// heuristic depends on it.
+	CoreScale int
+
+	// RouteCacheTrees bounds the per-destination routing-tree cache (0 =
+	// unbounded, the historical behaviour). Each cached tree holds three
+	// maps spanning every AS, so an unbounded cache costs O(ASes²)
+	// memory once a campaign probes every network. Destination-major
+	// consumers — RIB export and StreamCampaign — touch destinations in
+	// runs and stay fast under a small bound; RunCampaign iterates
+	// VP-major and should keep the cache unbounded.
+	RouteCacheTrees int
+
 	// EnableIPv6 installs the dual-stack view: every interface, prefix,
 	// delegation, and IXP LAN gains an IPv6 twin under a
 	// structure-preserving embedding (see ipv6.go), and v6 campaigns
@@ -181,6 +198,12 @@ type AS struct {
 	// Space is the AS's own /16 aggregate (ground truth). Reallocated
 	// stubs instead use ReallocPrefix carved from their provider.
 	Space netip.Prefix
+	// ExtraSpace holds additional /16 aggregates granted when the AS's
+	// infrastructure window inside Space is exhausted — only large
+	// transit/tier-1 networks at the upper ladder rungs ever need one.
+	// Each extra aggregate is announced and RIR-delegated exactly like
+	// Space.
+	ExtraSpace []netip.Prefix
 	// HostPrefix holds the probe-target host addresses.
 	HostPrefix netip.Prefix
 	// Hosts are the probe-target addresses.
@@ -292,6 +315,10 @@ type Internet struct {
 
 	rng    *rand.Rand
 	nextID int
+	// extraSpaceIdx cursors the global pool of extra /16 aggregates
+	// (12.0.0.0 … 19.255.0.0) handed to ASes whose infrastructure
+	// window overflows.
+	extraSpaceIdx int
 
 	edges         map[[2]asn.ASN]*Edge
 	routing       *routingState

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"math/rand"
+	"net/netip"
 	"strings"
 	"testing"
 
@@ -347,5 +348,91 @@ func TestVPSelectionExclusions(t *testing.T) {
 		if vp.AS.Type == Stub {
 			t.Errorf("stub AS %v selected as VP", vp.AS.ASN)
 		}
+	}
+}
+
+// TestLinkNetworkSpill: an AS whose x.x.240.0/20 infrastructure window
+// is exhausted spills into extra /16 aggregates from the reserved
+// 12.x–19.x plane instead of wrapping back into its own host space —
+// the address-collision bug the L rung first exposed.
+func TestLinkNetworkSpill(t *testing.T) {
+	in := smallNet(t, 3)
+	var a *AS
+	for _, cand := range in.ASList {
+		if cand.ReallocFrom == nil && !cand.UnannLinks {
+			a = cand
+			break
+		}
+	}
+	if a == nil {
+		t.Fatal("no plain-aggregate AS in small topology")
+	}
+	seen := make(map[netip.Prefix]bool)
+	a.nextLinkNet = linkWindowAddrs - 4 // one /30 left in the window
+	for i := 0; i < 3*16384+8; i++ {    // cross two whole extra /16s
+		p, err := in.nextLinkNetwork(a)
+		if err != nil {
+			t.Fatalf("nextLinkNetwork %d: %v", i, err)
+		}
+		if seen[p] {
+			t.Fatalf("nextLinkNetwork %d: duplicate link net %v", i, p)
+		}
+		seen[p] = true
+		if a.Space.Contains(p.Addr()) {
+			if i > 0 {
+				t.Fatalf("nextLinkNetwork %d: %v back inside aggregate %v after spill", i, p, a.Space)
+			}
+			continue
+		}
+		b := p.Addr().As4()
+		if b[0] < 12 || b[0] > 19 {
+			t.Fatalf("nextLinkNetwork %d: spill net %v outside the 12.x–19.x plane", i, p)
+		}
+	}
+	if len(a.ExtraSpace) != 4 {
+		t.Fatalf("ExtraSpace = %v, want 4 aggregates", a.ExtraSpace)
+	}
+	for _, p := range a.ExtraSpace {
+		if p.Bits() != 16 {
+			t.Fatalf("extra aggregate %v, want a /16", p)
+		}
+	}
+	// Regenerating exports with the extras present must cover them in
+	// the RIB, the delegations, and the ground-truth owner map.
+	in.export()
+	for _, p := range a.ExtraSpace {
+		if got := in.prefixOwner[p]; got != a {
+			t.Errorf("prefixOwner[%v] = %v, want AS %d", p, got, a.ASN)
+		}
+		if got, _, ok := in.Delegations.Origin(p.Addr()); !ok || got != a.ASN {
+			t.Errorf("Delegations.Origin(%v) = %v/%v, want AS %d", p.Addr(), got, ok, a.ASN)
+		}
+		found := false
+		for _, r := range in.Routes {
+			if r.Prefix == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("extra aggregate %v not announced in the RIB", p)
+		}
+	}
+}
+
+// TestTakeExtraSpaceExhaustion: the reserved plane is finite and
+// exhaustion is a diagnostic, not a wraparound.
+func TestTakeExtraSpaceExhaustion(t *testing.T) {
+	in := smallNet(t, 3)
+	in.extraSpaceIdx = 8*256 - 1
+	if p, err := in.takeExtraSpace(); err != nil {
+		t.Fatalf("last aggregate: %v", err)
+	} else if p.Addr().As4()[0] != 19 {
+		t.Fatalf("last aggregate %v, want 19.255.0.0/16", p)
+	}
+	if _, err := in.takeExtraSpace(); err == nil {
+		t.Fatal("takeExtraSpace past the plane succeeded")
+	} else if !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("err = %v, want an exhaustion diagnostic", err)
 	}
 }
