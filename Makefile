@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-static build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke profile profile-micro
+.PHONY: ci vet lint lint-static build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke explain-smoke profile profile-micro
 
 ci: vet lint lint-static build test race
 
@@ -48,12 +48,14 @@ bench-micro:
 	$(GO) test -short -bench 'BenchmarkRefineWorkers|BenchmarkInferenceWorkers|BenchmarkRefineRecorder' -benchmem .
 
 # CI gate: a fresh S rung end-to-end, validated against the benchfmt
-# schema by reportcheck, plus a ladder check over the committed
-# artifacts. Catches pipeline or schema regressions without paying for
-# the larger rungs.
+# schema by reportcheck, compared metric-by-metric against the committed
+# S artifact (determinism metrics exactly; cost metrics within 200% —
+# CI machines vary, so the threshold catches order-of-magnitude
+# blowups, not noise), plus a ladder check over the committed artifacts.
 bench-smoke:
 	$(GO) run ./cmd/benchrun -rung S -out /tmp/BENCH_S.smoke.json
 	$(GO) run ./cmd/reportcheck -bench /tmp/BENCH_S.smoke.json
+	$(GO) run ./cmd/reportcheck -bench-compare BENCH_S.json,/tmp/BENCH_S.smoke.json -regress 200
 	$(GO) run ./cmd/reportcheck -bench BENCH_S.json,BENCH_M.json,BENCH_L.json
 
 # End-to-end smoke: generate a small simnet dataset, run the CLI with
@@ -88,6 +90,30 @@ fuzz-smoke:
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+
+# Decision-provenance smoke: run the quickstart topology with
+# -provenance on, check the prov.* aggregates reached the run report,
+# print the artifact summary, query the first annotated address through
+# explain, and diff the artifact against itself expecting zero drift —
+# the determinism contract exercised end-to-end through the real CLI.
+EXPLAIN_DIR ?= /tmp/bdrmapit-explain-smoke
+explain-smoke:
+	rm -rf $(EXPLAIN_DIR)
+	$(GO) run ./cmd/topogen -out $(EXPLAIN_DIR) -small -seed 7 -vps 10
+	$(GO) run ./cmd/bdrmapit \
+		-traces $(EXPLAIN_DIR)/traces.jsonl -rib $(EXPLAIN_DIR)/rib.txt \
+		-rir $(EXPLAIN_DIR)/delegated-extended.txt -ixp $(EXPLAIN_DIR)/ixp-prefixes.txt \
+		-rels $(EXPLAIN_DIR)/as-rel.txt -aliases $(EXPLAIN_DIR)/nodes.txt \
+		-annotations $(EXPLAIN_DIR)/annotations.txt \
+		-provenance $(EXPLAIN_DIR)/run.prov \
+		-quiet-report -report-json $(EXPLAIN_DIR)/report.json
+	$(GO) run ./cmd/reportcheck -report $(EXPLAIN_DIR)/report.json \
+		-counters prov.routers,prov.interfaces
+	$(GO) run ./cmd/explain $(EXPLAIN_DIR)/run.prov
+	$(GO) run ./cmd/explain $(EXPLAIN_DIR)/run.prov \
+		$$(head -1 $(EXPLAIN_DIR)/annotations.txt | cut -d' ' -f1)
+	$(GO) run ./cmd/explain -diff -fail-on-drift \
+		$(EXPLAIN_DIR)/run.prov $(EXPLAIN_DIR)/run.prov
 
 # Crash-injection matrix: SIGKILL the real CLI at seeded checkpoint and
 # output-rename points, resume from the snapshot at a different worker

@@ -44,6 +44,7 @@ import (
 	"repro/internal/ip2as"
 	"repro/internal/itdk"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/traceroute"
 )
 
@@ -138,6 +139,15 @@ type Options struct {
 	// ckpt.ErrNoCheckpoint; one taken under different options or inputs
 	// fails with a *ckpt.MismatchError. Ignored without CheckpointDir.
 	Resume bool
+	// Provenance collects a per-router decision trace during the run:
+	// which §5/§6.1 heuristic decided each router, the final vote tally
+	// and runner-up, the tie-break path, and the iteration of the last
+	// change, plus each interface's §6.2 branch. Collection never
+	// changes annotations — the engine's determinism tests prove the
+	// output byte-identical with it on or off — and the artifact
+	// (Result.WriteProvenance) is byte-identical across worker counts
+	// and resume points. Query it with cmd/explain.
+	Provenance bool
 }
 
 func (o Options) internal() core.Options {
@@ -151,6 +161,7 @@ func (o Options) internal() core.Options {
 		DisableHiddenAS:     o.DisableHiddenAS,
 		DisableDestTieBreak: o.DisableDestTieBreak,
 		Recorder:            o.Recorder,
+		Provenance:          o.Provenance,
 	}
 }
 
@@ -283,6 +294,24 @@ func (r *Result) WriteITDK(dir string) error {
 		if err := ckpt.AtomicWrite(filepath.Join(dir, out.name), out.fill); err != nil {
 			return fmt.Errorf("bdrmapit: writing %s: %w", out.name, err)
 		}
+	}
+	return nil
+}
+
+// Provenance returns the run's decision-provenance artifact, or nil
+// when the run was not started with Options.Provenance.
+func (r *Result) Provenance() *prov.Artifact { return r.res.Provenance }
+
+// WriteProvenance serializes the decision-provenance artifact to path
+// with the same atomic-publish semantics as checkpoints (temp file +
+// fsync + rename): a killed run leaves either no artifact or a complete
+// one. It fails when the run did not collect provenance.
+func (r *Result) WriteProvenance(path string) error {
+	if r.res.Provenance == nil {
+		return fmt.Errorf("bdrmapit: run did not collect provenance (set Options.Provenance)")
+	}
+	if err := prov.WriteFile(path, r.res.Provenance); err != nil {
+		return fmt.Errorf("bdrmapit: writing provenance: %w", err)
 	}
 	return nil
 }

@@ -37,6 +37,14 @@
 // Every output file (annotations, links, ITDK, JSON report) is also
 // published atomically, so a kill at any instant never leaves a torn
 // file.
+//
+// Provenance: -provenance OUT records why every router got its
+// annotation (winning heuristic, vote tally, tie-break path, iteration
+// of last change) into a CRC-guarded artifact, byte-identical at any
+// worker count and across resumes, at no change to the annotations
+// themselves. Query it with the explain command: "explain OUT IP"
+// prints one router's decision chain, "explain -diff OLD NEW" reports
+// annotation drift between two runs grouped by flipped heuristic.
 package main
 
 import (
@@ -89,6 +97,7 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "snapshot committed refinement iterations into this directory for crash-safe resume")
 		ckptEvry = flag.Int("checkpoint-every", 0, "snapshot every N committed iterations (default 1: every iteration; the final iteration is always snapshotted)")
 		resume   = flag.Bool("resume", false, "restore the newest snapshot in -checkpoint-dir and continue the run from there")
+		provOut  = flag.String("provenance", "", "collect per-router decision provenance and write the artifact to this file (query with cmd/explain)")
 	)
 	flag.Parse()
 	if *traces == "" {
@@ -109,7 +118,7 @@ func main() {
 			}
 		}
 	}
-	for _, out := range []string{*annOut, *lnkOut, *repJSON} {
+	for _, out := range []string{*annOut, *lnkOut, *repJSON, *provOut} {
 		if out != "" && out != "-" {
 			if err := ensureWritableDir(filepath.Dir(out)); err != nil {
 				log.Fatal(err)
@@ -171,6 +180,7 @@ func main() {
 		CheckpointDir:    *ckptDir,
 		CheckpointEvery:  *ckptEvry,
 		Resume:           *resume,
+		Provenance:       *provOut != "",
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -215,6 +225,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("ITDK files written to", *itdkOut)
+	}
+	if *provOut != "" {
+		if err := res.WriteProvenance(*provOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("provenance written to", *provOut)
 	}
 
 	if !*quiet {

@@ -126,12 +126,21 @@ func TestCrashResume(t *testing.T) {
 
 	// Uninterrupted baseline at one worker; determinism across worker
 	// counts is proven separately, so one baseline serves the matrix.
+	// The baseline also collects provenance: the artifact carries the
+	// same byte-identity guarantee as the annotations, so crash+resume
+	// must reproduce it exactly too.
 	baseDir := t.TempDir()
 	baseAnn := filepath.Join(baseDir, "annotations.txt")
-	if res := runCLI(t, "", append(srcArgs, "-workers", "1", "-annotations", baseAnn)...); res.err != nil {
+	baseProvOut := filepath.Join(baseDir, "run.prov")
+	if res := runCLI(t, "", append(srcArgs,
+		"-workers", "1", "-annotations", baseAnn, "-provenance", baseProvOut)...); res.err != nil {
 		t.Fatalf("baseline run failed: %v\nstderr: %s", res.err, res.stderr.String())
 	}
 	baseline, err := os.ReadFile(baseAnn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseProv, err := os.ReadFile(baseProvOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,6 +154,7 @@ func TestCrashResume(t *testing.T) {
 		"checkpoint:2",               // mid-refinement, later snapshot
 		"pre-rename:annotations.txt", // inference done, output publish in flight
 		"pre-rename:itdk.nodes",      // ITDK publish in flight
+		"pre-rename:run.prov",        // provenance artifact publish in flight
 	}
 
 	for _, workers := range workerSet {
@@ -156,11 +166,13 @@ func TestCrashResume(t *testing.T) {
 					outDir := t.TempDir()
 					ckDir := filepath.Join(outDir, "ckpt")
 					annOut := filepath.Join(outDir, "annotations.txt")
+					provOut := filepath.Join(outDir, "run.prov")
 					runArgs := append(srcArgs,
 						"-workers", strconv.Itoa(workers),
 						"-checkpoint-dir", ckDir,
 						"-annotations", annOut,
 						"-itdk", outDir,
+						"-provenance", provOut,
 					)
 
 					crash := runCLI(t, point, runArgs...)
@@ -168,10 +180,14 @@ func TestCrashResume(t *testing.T) {
 						t.Fatalf("crash run at %q did not die from SIGKILL: err=%v\nstderr: %s",
 							point, crash.err, crash.stderr.String())
 					}
-					assertIntactOutputs(t, outDir, map[string][]byte{"annotations.txt": baseline})
+					assertIntactOutputs(t, outDir, map[string][]byte{
+						"annotations.txt": baseline,
+						"run.prov":        baseProv,
+					})
 
 					// Resume at a different worker count than the kill:
-					// snapshots are worker-invariant.
+					// snapshots (including the embedded provenance
+					// records) are worker-invariant.
 					resumeWorkers := 1 + workers%4
 					resumed := runCLI(t, "", append(srcArgs,
 						"-workers", strconv.Itoa(resumeWorkers),
@@ -179,6 +195,7 @@ func TestCrashResume(t *testing.T) {
 						"-resume",
 						"-annotations", annOut,
 						"-itdk", outDir,
+						"-provenance", provOut,
 					)...)
 					if resumed.err != nil {
 						t.Fatalf("resume after %q failed: %v\nstderr: %s",
@@ -193,6 +210,13 @@ func TestCrashResume(t *testing.T) {
 					}
 					if !bytes.Equal(got, baseline) {
 						t.Errorf("resumed annotations differ from uninterrupted baseline after crash at %q", point)
+					}
+					gotProv, err := os.ReadFile(provOut)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotProv, baseProv) {
+						t.Errorf("resumed provenance artifact differs from uninterrupted baseline after crash at %q", point)
 					}
 				})
 			}

@@ -9,13 +9,17 @@
 // the same graph under Options.ReferenceMode (the pre-optimization
 // refinement path), verifies the two paths produced byte-identical
 // annotations, and records the per-iteration comparison the ≥20%
-// optimization acceptance gate reads.
+// optimization acceptance gate reads. Unless -skip-provenance is set,
+// a second replay measures the per-iteration cost of decision-
+// provenance collection (Options.Provenance), again held to identical
+// annotations; the committed M-rung artifact asserts that overhead
+// stays within the 5% budget.
 //
 // Usage:
 //
 //	benchrun -rung S [-seed N] [-workers N] [-out FILE]
 //	         [-chunk N] [-aliases=false] [-skip-reference]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-skip-provenance] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -48,6 +52,7 @@ func main() {
 		chunk      = flag.Int("chunk", 0, "campaign streaming chunk (default: the rung's)")
 		aliases    = flag.Bool("aliases", true, "resolve aliases (midar+iffinder) before inference")
 		skipRef    = flag.Bool("skip-reference", false, "skip the reference-mode comparison run")
+		skipProv   = flag.Bool("skip-provenance", false, "skip the provenance-overhead comparison run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the pipeline")
 		memprofile = flag.String("memprofile", "", "write a heap profile at pipeline end")
 	)
@@ -192,6 +197,43 @@ func main() {
 		log.Printf("refine per-iteration: optimized %s, reference %s (%.1f%% faster); annotations byte-identical",
 			obs.FormatDuration(file.Refine.PerIterNS), obs.FormatDuration(file.Refine.ReferencePerIterNS),
 			file.Refine.SpeedupPct)
+	}
+
+	if !*skipProv {
+		// Replay phases 2–3 with decision-provenance collection on. The
+		// records are written to preallocated flat slices and never read
+		// by the heuristics, so the digest must not move; the timing
+		// difference is the collection overhead the ≤5% M-rung budget
+		// gates.
+		res.Graph.ResetAnnotations()
+		provRec := obs.New()
+		provRes := core.Run(res.Graph, rels, core.Options{
+			Workers:    *workers,
+			Provenance: true,
+			Recorder:   provRec,
+		})
+		provDigest := annotationDigest(provRes.Graph)
+		if provDigest != optDigest {
+			log.Fatalf("provenance-on divergence: digest %016x with collection, %016x without", provDigest, optDigest)
+		}
+		if provRes.Iterations != res.Iterations {
+			log.Fatalf("provenance-on divergence: %d vs %d iterations", provRes.Iterations, res.Iterations)
+		}
+		var provNS int64
+		for _, p := range provRec.Report().Phases {
+			if p.Name == "refine" {
+				provNS = p.DurationNS
+			}
+		}
+		if provRes.Iterations > 0 {
+			file.Refine.ProvPerIterNS = provNS / int64(provRes.Iterations)
+		}
+		if file.Refine.PerIterNS > 0 && file.Refine.ProvPerIterNS > 0 {
+			file.Refine.ProvOverheadPct = 100 * (float64(file.Refine.ProvPerIterNS)/float64(file.Refine.PerIterNS) - 1)
+		}
+		log.Printf("refine per-iteration: provenance on %s, off %s (%+.1f%% overhead); annotations byte-identical",
+			obs.FormatDuration(file.Refine.ProvPerIterNS), obs.FormatDuration(file.Refine.PerIterNS),
+			file.Refine.ProvOverheadPct)
 	}
 
 	if err := file.Validate(); err != nil {

@@ -1,0 +1,206 @@
+// Command explain answers "why did bdrmapIT annotate this router that
+// way?" from a decision-provenance artifact written by bdrmapit
+// -provenance.
+//
+// Usage:
+//
+//	explain ARTIFACT           print a run summary: rule histogram,
+//	                           flip counts, interface branches
+//	explain ARTIFACT IP        print the decision chain for the router
+//	                           owning IP: winning heuristic, vote tally
+//	                           and runner-up, tie-break path, iteration
+//	                           of last change
+//	explain -diff OLD NEW      report annotation drift between two
+//	                           artifacts, grouped by flipped heuristic;
+//	                           -fail-on-drift exits 1 unless the runs
+//	                           agree exactly (the CI no-drift gate)
+//
+// The artifact is a pure function of the run's inputs and heuristic
+// options — byte-identical at any worker count and across resumes — so
+// diffing two artifacts isolates real input or code drift, never
+// scheduling noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/prov"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("explain: ")
+	var (
+		diff   = flag.Bool("diff", false, "compare two artifacts: explain -diff OLD NEW")
+		failOn = flag.Bool("fail-on-drift", false, "with -diff: exit 1 unless the artifacts agree exactly")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: explain ARTIFACT [IP]")
+		fmt.Fprintln(os.Stderr, "       explain -diff [-fail-on-drift] OLD NEW")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if *diff {
+		if len(args) != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		old, err := prov.ReadFile(args[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := prov.ReadFile(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := prov.Diff(old, cur)
+		if err := d.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *failOn && !d.Empty() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(args) < 1 || len(args) > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := prov.ReadFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(args) == 1 {
+		if err := summarize(os.Stdout, a); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	addr, err := netip.ParseAddr(args[1])
+	if err != nil {
+		log.Fatalf("%s is not an IP address: %v", args[1], err)
+	}
+	if err := explainAddr(os.Stdout, a, addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// asStr renders an AS for display; asn.None (no annotation) as "none".
+func asStr(a asn.ASN) string {
+	if a == asn.None {
+		return "none"
+	}
+	return fmt.Sprintf("AS%d", uint32(a))
+}
+
+// runLine describes the run the artifact captured, in one line.
+func runLine(a *prov.Artifact) string {
+	state := "stopped at the iteration cap"
+	switch {
+	case a.Interrupted:
+		state = "interrupted (annotations are the last committed iteration)"
+	case a.Converged:
+		state = fmt.Sprintf("converged (cycle length %d)", a.CycleLength)
+	}
+	return fmt.Sprintf("run: %d refinement iteration(s), %s", a.Iterations, state)
+}
+
+// summarize prints the artifact-wide view: how many routers each
+// heuristic decided, how many flipped after their first election, and
+// the §6.2 interface branch histogram.
+func summarize(w io.Writer, a *prov.Artifact) error {
+	lastHop := 0
+	flips := 0
+	for i := range a.Routers {
+		if a.Routers[i].LastHop {
+			lastHop++
+		}
+		if a.Routers[i].Iter > 1 {
+			flips++
+		}
+	}
+	fmt.Fprintln(w, runLine(a))
+	fmt.Fprintf(w, "routers: %d (%d last-hop, frozen in phase 2)  interfaces: %d\n",
+		len(a.Routers), lastHop, len(a.Ifaces))
+	fmt.Fprintf(w, "routers that flipped after their first election: %d\n\n", flips)
+
+	fmt.Fprintln(w, "router decisions by rule:")
+	counts := a.RuleCounts()
+	for r := prov.Rule(0); r < prov.NumRules; r++ {
+		if counts[r] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-24s %6d   %s\n", r.String(), counts[r], r.Describe())
+	}
+
+	ifCounts := make(map[prov.IfaceRule]int)
+	for i := range a.Ifaces {
+		ifCounts[a.Ifaces[i].Rule]++
+	}
+	fmt.Fprintln(w, "\ninterface annotations by branch:")
+	for r := prov.IfaceRule(0); r < prov.NumIfaceRules; r++ {
+		if ifCounts[r] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-24s %6d   %s\n", r.String(), ifCounts[r], r.Describe())
+	}
+	return nil
+}
+
+// explainAddr prints the decision chain for the router owning addr: the
+// interface's own §6.2 entry, then the router's record.
+func explainAddr(w io.Writer, a *prov.Artifact, addr netip.Addr) error {
+	ifc, ok := a.Lookup(addr)
+	if !ok {
+		return fmt.Errorf("%s was not observed in this run (not in the artifact)", addr)
+	}
+	fmt.Fprintln(w, runLine(a))
+	fmt.Fprintf(w, "\ninterface %s\n", ifc.Addr)
+	fmt.Fprintf(w, "  origin AS (ip2as):  %s\n", asStr(ifc.Origin))
+	fmt.Fprintf(w, "  link annotation:    %s\n", asStr(ifc.Annotation))
+	fmt.Fprintf(w, "    because:          %s — %s\n", ifc.Rule, ifc.Rule.Describe())
+
+	rr := &a.Routers[ifc.Router]
+	siblings := a.RouterIfaces(ifc.Router)
+	var addrs []string
+	for _, s := range siblings {
+		addrs = append(addrs, s.Addr.String())
+	}
+	kind := "refined each iteration (§6.1)"
+	if rr.LastHop {
+		kind = "last-hop, frozen in phase 2 (§5)"
+	}
+	fmt.Fprintf(w, "\nrouter %d (%s)\n", ifc.Router, kind)
+	fmt.Fprintf(w, "  interfaces:         %s\n", strings.Join(addrs, " "))
+	fmt.Fprintf(w, "  operator:           %s\n", asStr(rr.Annotation))
+	fmt.Fprintf(w, "  winning rule:       %s — %s\n", rr.Rule, rr.Rule.Describe())
+	if rr.WinnerVotes > 0 || rr.RunnerUp != asn.None {
+		fmt.Fprintf(w, "  final tally:        %s ×%d", asStr(rr.Winner), rr.WinnerVotes)
+		if rr.RunnerUp != asn.None {
+			fmt.Fprintf(w, " over runner-up %s ×%d", asStr(rr.RunnerUp), rr.RunnerUpVotes)
+		}
+		fmt.Fprintln(w)
+	}
+	if rr.Tie != 0 {
+		fmt.Fprintf(w, "  tie-break path:     %s\n", rr.Tie)
+	}
+	switch {
+	case rr.LastHop:
+		fmt.Fprintf(w, "  decided:            phase 2; never revised\n")
+	case rr.Iter == 0:
+		fmt.Fprintf(w, "  last change:        never changed after initialization\n")
+	default:
+		fmt.Fprintf(w, "  last change:        iteration %d of %d\n", rr.Iter, a.Iterations)
+	}
+	return nil
+}

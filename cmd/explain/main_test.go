@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/prov"
+)
+
+func testArtifact() *prov.Artifact {
+	return &prov.Artifact{
+		Iterations:  4,
+		Converged:   true,
+		CycleLength: 1,
+		Routers: []prov.RouterRec{
+			{
+				Annotation: 200,
+				Record: prov.Record{
+					Rule: prov.RuleElection, Tie: prov.TieDestFull | prov.TieSmallestCone,
+					Winner: 200, WinnerVotes: 5, RunnerUp: 100, RunnerUpVotes: 3, Iter: 2,
+				},
+			},
+			{
+				Annotation: 100,
+				LastHop:    true,
+				Record: prov.Record{
+					Rule: prov.RuleLHSingleOrigin, Winner: 100,
+				},
+			},
+		},
+		Ifaces: []prov.Iface{
+			{Addr: netip.MustParseAddr("2.0.0.1"), Origin: 200, Annotation: 100, Router: 0, Rule: prov.IfaceVote},
+			{Addr: netip.MustParseAddr("9.9.9.1"), Origin: asn.None, Annotation: asn.None, Router: 1, Rule: prov.IfaceStatic},
+		},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var b strings.Builder
+	if err := summarize(&b, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"run: 4 refinement iteration(s), converged (cycle length 1)",
+		"routers: 2 (1 last-hop, frozen in phase 2)  interfaces: 2",
+		"routers that flipped after their first election: 1",
+		"election",
+		"lasthop-single-origin",
+		"router-vote",
+		"static",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainAddr(t *testing.T) {
+	a := testArtifact()
+	var b strings.Builder
+	if err := explainAddr(&b, a, netip.MustParseAddr("2.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"interface 2.0.0.1",
+		"origin AS (ip2as):  AS200",
+		"link annotation:    AS100",
+		"router-vote",
+		"operator:           AS200",
+		"winning rule:       election",
+		"final tally:        AS200 ×5 over runner-up AS100 ×3",
+		"tie-break path:     dest-full-cover+smallest-cone",
+		"last change:        iteration 2 of 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+
+	// The frozen last-hop router reads as phase-2.
+	b.Reset()
+	if err := explainAddr(&b, a, netip.MustParseAddr("9.9.9.1")); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{
+		"last-hop, frozen in phase 2",
+		"origin AS (ip2as):  none",
+		"decided:            phase 2; never revised",
+		"lasthop-single-origin",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("last-hop explanation missing %q:\n%s", want, out)
+		}
+	}
+
+	// Unknown addresses are a clear error, not a zero-value printout.
+	if err := explainAddr(&b, a, netip.MustParseAddr("8.8.8.8")); err == nil ||
+		!strings.Contains(err.Error(), "not observed") {
+		t.Errorf("unknown address: want 'not observed' error, got %v", err)
+	}
+}
+
+func TestRoundTripThroughFile(t *testing.T) {
+	path := t.TempDir() + "/run.prov"
+	if err := prov.WriteFile(path, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	a, err := prov.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := explainAddr(&b, a, netip.MustParseAddr("2.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "final tally:        AS200 ×5") {
+		t.Errorf("decoded artifact lost the tally:\n%s", b.String())
+	}
+}

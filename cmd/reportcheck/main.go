@@ -19,17 +19,29 @@
 // this; the committed BENCH_* files are regression-gated the same way
 // from the module-level tests.
 //
+// With -bench-compare OLD,NEW, reportcheck diffs two bench artifacts of
+// the same rung and seed: determinism metrics (iteration count,
+// convergence, graph populations) must match exactly — the engine is
+// deterministic, so any drift there is a code or input change, not
+// noise — while cost metrics (wall clock, peak RSS, per-iteration time)
+// may regress up to -regress percent before failing. CI compares each
+// fresh S-rung run against the committed BENCH_S.json so a performance
+// or determinism regression fails the build with a per-metric delta
+// report.
+//
 // Usage:
 //
 //	reportcheck -report FILE [-counters name,name...]
 //	            [-allow-degraded] [-allow-interrupted]
 //	reportcheck -bench FILE[,FILE...]
+//	reportcheck -bench-compare OLD,NEW [-regress PCT]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -47,10 +59,33 @@ func main() {
 		counters    = flag.String("counters", "", "comma-separated counter names that must be non-zero")
 		allowDegr   = flag.Bool("allow-degraded", false, "accept a report with degraded input sources")
 		allowInterr = flag.Bool("allow-interrupted", false, "accept a report from an interrupted (cancelled) run")
+		benchCmp    = flag.String("bench-compare", "", "compare two bench artifacts OLD,NEW: determinism metrics exactly, cost metrics within -regress")
+		regress     = flag.Float64("regress", 50, "with -bench-compare: maximum tolerated cost-metric regression, percent")
 	)
 	flag.Parse()
-	if *path == "" && *bench == "" {
-		log.Fatal("-report or -bench is required")
+	if *path == "" && *bench == "" && *benchCmp == "" {
+		log.Fatal("-report, -bench, or -bench-compare is required")
+	}
+
+	if *benchCmp != "" {
+		paths := splitList(*benchCmp)
+		if len(paths) != 2 {
+			log.Fatalf("-bench-compare wants exactly two files OLD,NEW, got %d", len(paths))
+		}
+		old, err := benchfmt.Read(paths[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := benchfmt.Read(paths[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := benchCompare(os.Stdout, old, cur, *regress); n > 0 {
+			log.Fatalf("FAIL: %d metric(s) regressed or drifted", n)
+		}
+		if *path == "" && *bench == "" {
+			return
+		}
 	}
 
 	if *bench != "" {
@@ -163,6 +198,68 @@ func checkBenchFiles(paths []string) ([]string, error) {
 		return nil, err
 	}
 	return rungs, nil
+}
+
+// benchCompare prints a per-metric delta report between two bench
+// artifacts and returns the number of failed metrics. Determinism
+// metrics must match exactly; cost metrics may grow up to regressPct
+// percent. Improvements never fail.
+func benchCompare(w io.Writer, old, cur *benchfmt.File, regressPct float64) int {
+	failures := 0
+	if old.Rung != cur.Rung || old.Seed != cur.Seed {
+		fmt.Fprintf(w, "bench-compare: FAIL: comparing rung %s seed %d against rung %s seed %d — not the same benchmark\n",
+			old.Rung, old.Seed, cur.Rung, cur.Seed)
+		return 1
+	}
+	fmt.Fprintf(w, "bench-compare: rung %s seed %d, regression limit +%.0f%%\n", cur.Rung, cur.Seed, regressPct)
+
+	exact := []struct {
+		name     string
+		old, cur int64
+	}{
+		{"refine.iterations", int64(old.Refine.Iterations), int64(cur.Refine.Iterations)},
+		{"topology.traces", int64(old.Topology.Traces), int64(cur.Topology.Traces)},
+		{"topology.graph_routers", int64(old.Topology.GraphRouters), int64(cur.Topology.GraphRouters)},
+		{"topology.graph_interfaces", int64(old.Topology.GraphInterfaces), int64(cur.Topology.GraphInterfaces)},
+	}
+	for _, m := range exact {
+		if m.old == m.cur {
+			fmt.Fprintf(w, "  %-26s %12d == %-12d exact ok\n", m.name, m.old, m.cur)
+			continue
+		}
+		failures++
+		fmt.Fprintf(w, "  %-26s %12d -> %-12d FAIL: determinism metric drifted (code or input change, not noise)\n",
+			m.name, m.old, m.cur)
+	}
+	if old.Refine.Converged != cur.Refine.Converged {
+		failures++
+		fmt.Fprintf(w, "  %-26s %12v -> %-12v FAIL: convergence changed\n",
+			"refine.converged", old.Refine.Converged, cur.Refine.Converged)
+	}
+
+	cost := []struct {
+		name     string
+		old, cur int64
+	}{
+		{"wall_ns", old.WallNS, cur.WallNS},
+		{"peak_rss_bytes", old.PeakRSSBytes, cur.PeakRSSBytes},
+		{"refine.per_iter_ns", old.Refine.PerIterNS, cur.Refine.PerIterNS},
+	}
+	for _, m := range cost {
+		if m.old <= 0 {
+			failures++
+			fmt.Fprintf(w, "  %-26s baseline %d is not positive: FAIL\n", m.name, m.old)
+			continue
+		}
+		delta := 100 * float64(m.cur-m.old) / float64(m.old)
+		status := "ok"
+		if delta > regressPct {
+			failures++
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  %-26s %12d -> %-12d %+7.1f%%  %s\n", m.name, m.old, m.cur, delta, status)
+	}
+	return failures
 }
 
 // splitList splits a comma-separated flag value, trimming whitespace and

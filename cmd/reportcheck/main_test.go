@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
 func fixture(name string) string {
@@ -51,6 +53,81 @@ func TestCheckBenchFiles(t *testing.T) {
 			}
 		})
 	}
+}
+
+func readBench(t *testing.T, name string) *benchfmt.File {
+	t.Helper()
+	f, err := benchfmt.Read(fixture(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBenchCompare(t *testing.T) {
+	base := func() *benchfmt.File { return readBench(t, "bench_s.json") }
+
+	t.Run("identical files pass", func(t *testing.T) {
+		var b strings.Builder
+		if n := benchCompare(&b, base(), base(), 50); n != 0 {
+			t.Fatalf("self-compare failed %d metrics:\n%s", n, b.String())
+		}
+		for _, want := range []string{"refine.iterations", "exact ok", "wall_ns", "per_iter_ns"} {
+			if !strings.Contains(b.String(), want) {
+				t.Errorf("report missing %q:\n%s", want, b.String())
+			}
+		}
+	})
+
+	t.Run("cost regression beyond threshold fails", func(t *testing.T) {
+		cur := base()
+		cur.WallNS *= 3 // +200%
+		var b strings.Builder
+		if n := benchCompare(&b, base(), cur, 50); n != 1 {
+			t.Fatalf("want 1 failure for +200%% wall clock at 50%% limit, got %d:\n%s", n, b.String())
+		}
+		if !strings.Contains(b.String(), "FAIL") {
+			t.Errorf("report does not mark the failure:\n%s", b.String())
+		}
+		// Same delta under a lax threshold passes.
+		b.Reset()
+		if n := benchCompare(&b, base(), cur, 250); n != 0 {
+			t.Fatalf("want 0 failures at 250%% limit, got %d:\n%s", n, b.String())
+		}
+	})
+
+	t.Run("cost improvement never fails", func(t *testing.T) {
+		cur := base()
+		cur.WallNS /= 10
+		cur.Refine.PerIterNS /= 10
+		var b strings.Builder
+		if n := benchCompare(&b, base(), cur, 0); n != 0 {
+			t.Fatalf("improvement flagged as regression:\n%s", b.String())
+		}
+	})
+
+	t.Run("determinism drift fails at any threshold", func(t *testing.T) {
+		cur := base()
+		cur.Refine.Iterations++
+		cur.Topology.GraphRouters++
+		var b strings.Builder
+		if n := benchCompare(&b, base(), cur, 1e9); n != 2 {
+			t.Fatalf("want 2 determinism failures, got %d:\n%s", n, b.String())
+		}
+		if !strings.Contains(b.String(), "determinism metric drifted") {
+			t.Errorf("report does not explain the drift:\n%s", b.String())
+		}
+	})
+
+	t.Run("different rung or seed is not comparable", func(t *testing.T) {
+		var b strings.Builder
+		if n := benchCompare(&b, base(), readBench(t, "bench_m.json"), 1e9); n != 1 {
+			t.Fatalf("cross-rung compare must fail once, got %d:\n%s", n, b.String())
+		}
+		if !strings.Contains(b.String(), "not the same benchmark") {
+			t.Errorf("report does not explain the mismatch:\n%s", b.String())
+		}
+	})
 }
 
 func TestSplitList(t *testing.T) {

@@ -55,6 +55,14 @@ type Refine struct {
 	ReferencePerIterNS int64 `json:"reference_per_iter_ns,omitempty"`
 	// SpeedupPct = 100 × (1 − PerIterNS/ReferencePerIterNS).
 	SpeedupPct float64 `json:"speedup_pct,omitempty"`
+	// ProvPerIterNS is the per-iteration cost of the same graph with
+	// Options.Provenance collection on; 0 when the run skipped the
+	// comparison (-skip-provenance).
+	ProvPerIterNS int64 `json:"prov_per_iter_ns,omitempty"`
+	// ProvOverheadPct = 100 × (ProvPerIterNS/PerIterNS − 1): the
+	// per-iteration cost of decision-provenance collection. The M-rung
+	// acceptance budget is 5%.
+	ProvOverheadPct float64 `json:"prov_overhead_pct,omitempty"`
 }
 
 // File is one committed BENCH_<rung>.json artifact.
@@ -139,6 +147,9 @@ func (f *File) Validate() error {
 	}
 	if f.Refine.ReferencePerIterNS < 0 {
 		return fmt.Errorf("benchfmt: rung %s: refine.reference_per_iter_ns %d, want >= 0", f.Rung, f.Refine.ReferencePerIterNS)
+	}
+	if f.Refine.ProvPerIterNS < 0 {
+		return fmt.Errorf("benchfmt: rung %s: refine.prov_per_iter_ns %d, want >= 0", f.Rung, f.Refine.ProvPerIterNS)
 	}
 	return nil
 }

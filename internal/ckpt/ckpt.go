@@ -46,8 +46,9 @@ const FileName = "refine.ckpt"
 
 // Version is the current checkpoint format version. Decode refuses any
 // other value: resuming across format revisions silently reinterpreting
-// bytes would be worse than restarting the run.
-const Version = 1
+// bytes would be worse than restarting the run. Version 2 added the
+// optional provenance blob (HasProv/Prov).
+const Version = 2
 
 // magic identifies a bdrmapIT checkpoint file (8 bytes).
 const magic = "BMITCKPT"
@@ -128,6 +129,15 @@ type State struct {
 	// Trace is the per-iteration convergence trace through Iteration,
 	// so a resumed run's report stitches seamlessly onto the original's.
 	Trace []obs.Row
+
+	// HasProv marks a snapshot taken with decision provenance enabled;
+	// Prov is the opaque per-router/per-interface provenance state
+	// (encoded by internal/prov, which ckpt does not import — the blob
+	// travels through unopened). A provenance-enabled resume from a
+	// snapshot without it is refused: the artifact could not be
+	// reconstructed byte-identically.
+	HasProv bool
+	Prov    []byte
 }
 
 // MismatchError reports a checkpoint that cannot be applied to this
@@ -224,6 +234,13 @@ func appendPayload(p []byte, st *State) []byte {
 			p = binary.AppendVarint(p, row[k])
 		}
 	}
+	if st.HasProv {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	p = binary.AppendUvarint(p, uint64(len(st.Prov)))
+	p = append(p, st.Prov...)
 	return p
 }
 
@@ -290,6 +307,9 @@ func Decode(r io.Reader) (*State, error) {
 		}
 		st.Trace = append(st.Trace, row)
 	}
+	st.HasProv = d.u8() != 0
+	n = d.count("provenance blob length")
+	st.Prov = d.bytes(n, "provenance blob")
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -395,6 +415,20 @@ func (d *decoder) checkLen(n, minBytesPer int, what string) {
 	if n*minBytesPer > len(d.b)-d.off {
 		d.fail(fmt.Sprintf("declared %s %d exceeds remaining payload", what, n))
 	}
+}
+
+// bytes reads an n-byte blob (nil when n is zero).
+func (d *decoder) bytes(n int, what string) []byte {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.fail("payload truncated reading " + what)
+		return nil
+	}
+	b := append([]byte(nil), d.b[d.off:d.off+n]...)
+	d.off += n
+	return b
 }
 
 func (d *decoder) str() string {

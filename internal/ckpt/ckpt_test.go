@@ -34,6 +34,8 @@ func sampleState() *State {
 			{"iteration": 1, "routers_changed": 42, "votes_cast": 900},
 			{"iteration": 2, "routers_changed": 0, "delta": -5},
 		},
+		HasProv: true,
+		Prov:    []byte{0x01, 0x02, 0x00, 0xff},
 	}
 }
 
@@ -88,6 +90,26 @@ func stateEqual(t *testing.T, got, want *State) {
 				t.Fatalf("Trace[%d][%q] = %d, want %d", i, k, gr[k], v)
 			}
 		}
+	}
+	if got.HasProv != want.HasProv || !bytes.Equal(got.Prov, want.Prov) {
+		t.Fatalf("provenance blob differs: got (%v, %x) want (%v, %x)",
+			got.HasProv, got.Prov, want.HasProv, want.Prov)
+	}
+}
+
+// TestProvBlobOptional pins the format's backward shape: a snapshot
+// written without provenance carries HasProv=false and an empty blob,
+// and round-trips unchanged.
+func TestProvBlobOptional(t *testing.T) {
+	st := sampleState()
+	st.HasProv = false
+	st.Prov = nil
+	got, err := Decode(bytes.NewReader(encode(t, st)))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.HasProv || got.Prov != nil {
+		t.Fatalf("provenance leaked into a prov-less snapshot: (%v, %x)", got.HasProv, got.Prov)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/ckpt"
 	"repro/internal/obs"
+	"repro/internal/prov"
 )
 
 // fingerprint hashes the options that change what an iteration computes:
@@ -76,10 +77,11 @@ type ckptRunner struct {
 	optFP uint64
 	gDig  uint64
 	rec   *obs.Recorder
+	prov  bool
 }
 
 func newCkptRunner(cfg *ckpt.Config, opts *Options, g *Graph) *ckptRunner {
-	return &ckptRunner{cfg: cfg, optFP: opts.fingerprint(), gDig: graphDigest(g), rec: opts.Recorder}
+	return &ckptRunner{cfg: cfg, optFP: opts.fingerprint(), gDig: graphDigest(g), rec: opts.Recorder, prov: opts.Provenance}
 }
 
 // due reports whether iteration iter's committed state should be made
@@ -115,14 +117,30 @@ func (c *ckptRunner) load(g *Graph) (*ckpt.State, error) {
 	if len(st.Ifaces) != len(g.sortedAddrs) {
 		return nil, &ckpt.MismatchError{Field: "interfaces", Want: uint64(len(st.Ifaces)), Got: uint64(len(g.sortedAddrs))}
 	}
+	if c.prov && !st.HasProv {
+		// Provenance is not fingerprinted (it cannot change annotations),
+		// but a provenance-enabled resume needs the per-router records up
+		// to the snapshot — without them the artifact could not be
+		// byte-identical to an uninterrupted run's.
+		return nil, &ckpt.MismatchError{Field: "provenance", Want: 0, Got: 1}
+	}
 	return st, nil
 }
 
 // restore applies a verified snapshot: annotations back onto the graph,
-// the cycle detector's first-sighting history, and the loop metadata.
-// The graph was just rebuilt deterministically from the same inputs, so
-// after this the process state matches the checkpointed instant exactly.
-func (c *ckptRunner) restore(g *Graph, st *ckpt.State, cycles *cycleDetector, res *Result) {
+// the cycle detector's first-sighting history, the loop metadata, and
+// (when provenance is collected) the per-router records and
+// per-interface rules as of the snapshot. The graph was just rebuilt
+// deterministically from the same inputs, so after this the process
+// state matches the checkpointed instant exactly. A malformed
+// provenance blob is a *ckpt.FormatError: the framing CRC passed, so
+// only a writer bug or targeted corruption can reach it.
+func (c *ckptRunner) restore(g *Graph, st *ckpt.State, cycles *cycleDetector, res *Result, pc *provCollector) error {
+	if pc != nil && st.HasProv {
+		if err := prov.DecodeState(st.Prov, pc.routers, pc.ifaces); err != nil {
+			return &ckpt.FormatError{Reason: "provenance blob: " + err.Error()}
+		}
+	}
 	for i, r := range g.Routers {
 		r.Annotation = asn.ASN(st.Routers[i])
 	}
@@ -135,12 +153,13 @@ func (c *ckptRunner) restore(g *Graph, st *ckpt.State, cycles *cycleDetector, re
 	res.Iterations = st.Iteration
 	res.Converged = st.Converged
 	res.CycleLength = st.CycleLength
+	return nil
 }
 
 // save captures the just-committed iteration and publishes it
 // atomically. traceRows is aliased, not copied: the snapshot is encoded
 // before save returns, so later appends cannot leak in.
-func (c *ckptRunner) save(g *Graph, res *Result, cycles *cycleDetector, traceRows []obs.Row) error {
+func (c *ckptRunner) save(g *Graph, res *Result, cycles *cycleDetector, traceRows []obs.Row, pc *provCollector) error {
 	st := &ckpt.State{
 		OptionsFP:   c.optFP,
 		InputDigest: c.cfg.InputDigest,
@@ -164,6 +183,10 @@ func (c *ckptRunner) save(g *Graph, res *Result, cycles *cycleDetector, traceRow
 		st.Hashes = append(st.Hashes, ckpt.IterHash{Hash: h, Iter: iter})
 	}
 	sort.Slice(st.Hashes, func(i, j int) bool { return st.Hashes[i].Iter < st.Hashes[j].Iter })
+	if pc != nil {
+		st.HasProv = true
+		st.Prov = prov.EncodeState(pc.routers, pc.ifaces)
+	}
 	return ckpt.Save(c.cfg.Dir, st, c.rec)
 }
 

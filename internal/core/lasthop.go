@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/asn"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/shard"
 )
 
@@ -45,20 +46,32 @@ func newLasthopTally(rec *obs.Recorder) *lasthopTally {
 // set. These annotations are frozen — the refinement loop never revises
 // them (§3.3). Each last-hop annotation reads only the router's own
 // static sets and the oracle, so the pass shards across workers with no
-// snapshot needed and a worker-count-independent outcome.
-func annotateLastHops(g *Graph, rels RelationshipOracle, opts Options) {
+// snapshot needed and a worker-count-independent outcome. A non-nil pc
+// receives each last-hop router's provenance record (which §5 branch
+// decided it); last-hop records keep Iter=0 — they never change after
+// this pass.
+func annotateLastHops(g *Graph, rels RelationshipOracle, opts Options, pc *provCollector) {
 	t := newLasthopTally(opts.Recorder)
 	shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
-		for _, r := range g.Routers[lo:hi] {
+		for idx := lo; idx < hi; idx++ {
+			r := g.Routers[idx]
 			if !r.LastHop {
 				continue
 			}
+			var pr *prov.Record
+			if pc != nil {
+				pr = &pc.routers[idx]
+				*pr = prov.Record{}
+			}
 			if r.DestASes.Len() == 0 || opts.DisableLastHopDest {
 				t.emptyDest.Inc()
-				r.Annotation = annotateEmptyDest(r, rels, t)
+				r.Annotation = annotateEmptyDest(r, rels, t, pr)
 			} else {
 				t.withDest.Inc()
-				r.Annotation = annotateWithDest(r, rels, t)
+				r.Annotation = annotateWithDest(r, rels, t, pr)
+			}
+			if pr != nil {
+				pr.Winner = r.Annotation
 			}
 		}
 	})
@@ -67,14 +80,16 @@ func annotateLastHops(g *Graph, rels RelationshipOracle, opts Options) {
 // annotateEmptyDest handles §5.1: the IR's interfaces were only seen in
 // Echo Replies (or the destination heuristic is ablated), so only the
 // origin-AS set is available.
-func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.ASN {
+func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally, pr *prov.Record) asn.ASN {
 	origins := r.OriginSet.Sorted()
 	switch len(origins) {
 	case 0:
 		t.emptyNoOrigin.Inc()
+		setRule(pr, prov.RuleLHNoOrigin)
 		return asn.None
 	case 1:
 		t.emptySingleOrigin.Inc()
+		setRule(pr, prov.RuleLHSingleOrigin)
 		return origins[0]
 	}
 	// ASes in the set with a relationship to all other ASes in the set;
@@ -94,6 +109,7 @@ func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.
 	}
 	if len(related) > 0 {
 		t.emptyRelated.Inc()
+		setRule(pr, prov.RuleLHRelated)
 		return rels.SmallestCone(related)
 	}
 	// An AS outside the set with a relationship to every member.
@@ -117,10 +133,12 @@ func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.
 	}
 	if len(outside) > 0 {
 		t.emptyOutside.Inc()
+		setRule(pr, prov.RuleLHOutside)
 		return rels.SmallestCone(outside)
 	}
 	// Most interface AS mappings; tie → smallest customer cone.
 	t.emptyVote.Inc()
+	setRule(pr, prov.RuleLHVote)
 	votes := make(asn.Counter)
 	for _, i := range r.Interfaces {
 		if i.Origin != asn.None {
@@ -128,7 +146,17 @@ func annotateEmptyDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.
 		}
 	}
 	top, _ := votes.Max()
-	return rels.SmallestCone(top)
+	a := rels.SmallestCone(top)
+	fillTally(pr, votes, a)
+	return a
+}
+
+// setRule records the winning §5 branch on a last-hop record (nil-safe:
+// the collector is optional).
+func setRule(pr *prov.Record, rule prov.Rule) {
+	if pr != nil {
+		pr.Rule = rule
+	}
 }
 
 func neighborSet(rels RelationshipOracle, a asn.ASN) asn.Set {
@@ -140,7 +168,7 @@ func neighborSet(rels RelationshipOracle, a asn.ASN) asn.Set {
 }
 
 // annotateWithDest implements Algorithm 1 (§5.2).
-func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.ASN {
+func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally, pr *prov.Record) asn.ASN {
 	D := r.DestASes
 	O := r.OriginSet
 
@@ -150,10 +178,12 @@ func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.A
 	overlap := O.Intersect(D)
 	if len(overlap) == 1 {
 		t.alg1Overlap.Inc()
+		setRule(pr, prov.RuleLHOverlap)
 		return overlap[0]
 	}
 	if len(overlap) > 1 {
 		t.alg1Overlap.Inc()
+		setRule(pr, prov.RuleLHOverlap)
 		return rels.SmallestCone(overlap)
 	}
 
@@ -172,6 +202,7 @@ func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.A
 	}
 	if len(drel) > 0 {
 		t.alg1DestRel.Inc()
+		setRule(pr, prov.RuleLHDestRel)
 		best, bestCover, bestCone := asn.None, -1, -1
 		for _, d := range drel {
 			cover := 0
@@ -208,8 +239,10 @@ func annotateWithDest(r *Router, rels RelationshipOracle, t *lasthopTally) asn.A
 	}
 	if bridge.Len() == 1 {
 		t.alg1Bridge.Inc()
+		setRule(pr, prov.RuleLHBridge)
 		return bridge.Sorted()[0]
 	}
 	t.alg1Smallest.Inc()
+	setRule(pr, prov.RuleLHSmallest)
 	return a
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ip2as"
 	"repro/internal/netutil"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/shard"
 )
 
@@ -70,6 +71,18 @@ type Options struct {
 	// measure the optimization) and the regression gate (to prove the
 	// two paths never drift).
 	ReferenceMode bool
+	// Provenance records per-router decision provenance (the winning
+	// heuristic, final vote tally and runner-up, tie-break path, and
+	// iteration of last change) and per-interface §6.2 branch outcomes
+	// into Result.Provenance. Collection writes fixed-size records into
+	// preallocated per-index slots from the same shards that compute
+	// the annotations, so it is allocation-free on the hot path and the
+	// annotations are byte-identical with the switch on or off, at any
+	// worker count. Not part of the checkpoint fingerprint: a
+	// provenance-enabled run may resume a plain checkpoint's dataset,
+	// but a provenance-enabled resume of a snapshot written without
+	// provenance is refused (the artifact could not be reconstructed).
+	Provenance bool
 	// DisableDestTieBreak ablates an extension to the §6.1.4 tie-break:
 	// before falling back to the smallest customer cone, a vote tie is
 	// broken toward the AS whose customer cone covers the most of the
@@ -363,8 +376,13 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		return res, nil
 	}
 
+	var pc *provCollector
+	if opts.Provenance {
+		pc = newProvCollector(g)
+	}
+
 	lh := rec.Phase("lasthop")
-	annotateLastHops(g, rels, opts)
+	annotateLastHops(g, rels, opts, pc)
 	lh.Note("lasthop_irs", int64(g.Stats.LastHopIRs))
 	lh.End()
 
@@ -397,7 +415,10 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			ph.End()
 			return nil, err
 		}
-		ckr.restore(g, st, cycles, res)
+		if err := ckr.restore(g, st, cycles, res, pc); err != nil {
+			ph.End()
+			return nil, err
+		}
 		res.ResumedFrom = st.Iteration
 		rec.SetResumedFrom(st.Iteration)
 		startIter = st.Iteration + 1
@@ -470,6 +491,11 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 				break
 			}
 		}
+		if pc != nil {
+			// Commit the rollback target for this iteration's router
+			// records, mirroring the annotation snapshot step 1 just took.
+			pc.snapshot()
+		}
 		// Step 2: routers. The pass either runs in full or not at all
 		// (batch-boundary cancellation); a refusal leaves the committed
 		// state untouched.
@@ -486,9 +512,16 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 				if r.LastHop {
 					continue
 				}
-				r.Annotation = annotateRouter(r, rels, opts, &local, sc)
+				var pr *prov.Record
+				if pc != nil {
+					pr = &pc.routers[idx]
+				}
+				r.Annotation = annotateRouter(r, rels, opts, &local, sc, pr)
 				if r.Annotation != r.prevAnnotation {
 					local.changedRouters++
+					if pr != nil {
+						pr.Iter = int32(iter)
+					}
 					if !reference {
 						chg = append(chg, idx)
 					}
@@ -517,10 +550,14 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			if !reference {
 				sc = ifaceScratch[s]
 			}
-			for _, addr := range g.sortedAddrs[lo:hi] {
-				i := g.Interfaces[addr]
+			for idx := lo; idx < hi; idx++ {
+				i := g.Interfaces[g.sortedAddrs[idx]]
+				var pir *prov.IfaceRule
+				if pc != nil {
+					pir = &pc.ifaces[idx]
+				}
 				prev := i.Annotation
-				annotateInterface(i, rels, sc)
+				annotateInterface(i, rels, sc, pir)
 				if i.Annotation != prev {
 					flipped++
 				}
@@ -536,6 +573,12 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 					r.Annotation = r.prevAnnotation
 				}
 			})
+			if pc != nil {
+				// The records written by the completed router pass describe
+				// the annotations just rolled back; restore them too so the
+				// artifact always explains the committed state.
+				pc.rollback()
+			}
 			res.Interrupted = true
 			break
 		}
@@ -558,7 +601,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		// checkpoint records the convergence, but before hookIterEnd so
 		// crash points injected through the hook see a durable state.
 		if ckr != nil && ckr.due(iter, repeated, opts.MaxIterations) {
-			if err := ckr.save(g, res, cycles, traceRows); err != nil {
+			if err := ckr.save(g, res, cycles, traceRows, pc); err != nil {
 				ph.End()
 				return nil, err
 			}
@@ -588,6 +631,12 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		rec.MarkInterrupted()
 		rec.Warnf("run cancelled after iteration %d of at most %d; annotations are the last committed iteration's partial result",
 			res.Iterations, opts.MaxIterations)
+	}
+	if pc != nil {
+		res.Provenance = pc.artifact(g, res)
+		if rec.Enabled() {
+			recordProvAggregates(rec, res.Provenance)
+		}
 	}
 	res.Report = rec.Report()
 	// Set the flags on the snapshot directly too, so a run without a
@@ -632,8 +681,15 @@ func selectLinks(r *Router) []*Link {
 // votes, exception checks, the relationship-restricted election, and
 // the hidden-AS check. A nil sc selects the reference path (fresh
 // allocations, live caches); otherwise all working storage comes from
-// the shard's scratch.
-func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch) asn.ASN {
+// the shard's scratch. A non-nil pr receives the decision's provenance
+// (rule, tally, tie path); it is written to, never read, so it cannot
+// influence the annotation.
+func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch, pr *prov.Record) asn.ASN {
+	if pr != nil {
+		// Reset everything but the last-change iteration, which persists
+		// across iterations (the caller maintains it).
+		*pr = prov.Record{Iter: pr.Iter}
+	}
 	reference := sc == nil
 	var votes asn.Counter
 	var m map[asn.ASN]asn.Set // vote AS → link origin ASes backing it
@@ -679,6 +735,10 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 	if !opts.DisableExceptions {
 		if a, ok := exceptionCases(r, linkVote, votes, rels, sc); ok {
 			t.heurException++
+			if pr != nil {
+				pr.Rule = prov.RuleException
+				fillTally(pr, votes, a)
+			}
 			return a
 		}
 	}
@@ -687,6 +747,10 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 		// Nothing to vote with (all interfaces and neighbours
 		// unannounced); keep the previous annotation so propagated
 		// annotations survive (§6.1.1 unannounced-address chains).
+		if pr != nil {
+			pr.Rule = prov.RuleKeepPrevious
+			pr.Winner = r.prevAnnotation
+		}
 		return r.prevAnnotation
 	}
 
@@ -715,7 +779,11 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 		}
 	}
 	if grew {
-		if w := electFrom(r, votes, restricted, rels, opts, t, sc); w != asn.None {
+		if w := electFrom(r, votes, restricted, rels, opts, t, sc, pr); w != asn.None {
+			if pr != nil {
+				pr.Rule = prov.RuleRestrictedElection
+				fillTally(pr, votes, w)
+			}
 			return w
 		}
 	}
@@ -728,20 +796,33 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 		top, _ = maxInto(votes, sc.top)
 		sc.top = top
 	}
-	a := breakTie(r, top, rels, opts, t)
+	a := breakTie(r, top, rels, opts, t, pr)
+	if pr != nil {
+		pr.Rule = prov.RuleElection
+		fillTally(pr, votes, a)
+	}
 	if opts.DisableHiddenAS || a == asn.None {
 		return a
 	}
 	h := hiddenAS(r, a, m[a], rels, sc)
 	if h != a {
 		t.heurHiddenAS++
+		if pr != nil {
+			// The hidden AS displaced the election winner: record the
+			// bridge as the winner and the displaced AS as runner-up.
+			pr.Rule = prov.RuleHiddenAS
+			pr.Winner = h
+			pr.WinnerVotes = int32(votes[h])
+			pr.RunnerUp = a
+			pr.RunnerUpVotes = int32(votes[a])
+		}
 	}
 	return h
 }
 
 // electFrom picks the AS with the most votes among the allowed set.
 // asn.None when no allowed AS has votes.
-func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch) asn.ASN {
+func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch, pr *prov.Record) asn.ASN {
 	best := 0
 	//lint:ignore maporder pure max reduction; every visit order yields the same maximum
 	for v, n := range votes {
@@ -765,15 +846,18 @@ func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipO
 	if sc != nil {
 		sc.tied = tied
 	}
-	return breakTie(r, tied, rels, opts, t)
+	return breakTie(r, tied, rels, opts, t, pr)
 }
 
 // breakTie resolves a vote tie: first (unless ablated) toward the AS
 // whose customer cone covers the most of the IR's destination ASes,
 // then toward the smallest customer cone (§6.1.4: "the most likely
-// customer AS").
-func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options, t *iterTally) asn.ASN {
+// customer AS"). A non-nil pr accumulates the tie-break stages walked.
+func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options, t *iterTally, pr *prov.Record) asn.ASN {
 	if len(tied) <= 1 {
+		if pr != nil {
+			pr.Tie |= prov.TieSingle
+		}
 		return rels.SmallestCone(tied)
 	}
 	if !opts.DisableDestTieBreak && r.DestASes.Len() > 0 {
@@ -798,6 +882,9 @@ func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options, 
 		}
 		if len(full) > 0 {
 			t.heurDestTie++
+			if pr != nil {
+				pr.Tie |= prov.TieDestFull
+			}
 			tied = full
 		} else if r.DestASes.Len() <= 10 {
 			// Small (edge) destination sets: a unique best-coverage
@@ -823,9 +910,15 @@ func breakTie(r *Router, tied []asn.ASN, rels RelationshipOracle, opts Options, 
 			}
 			if len(best) == 1 {
 				t.heurDestTie++
+				if pr != nil {
+					pr.Tie |= prov.TieDestBest
+				}
 				return best[0]
 			}
 		}
+	}
+	if pr != nil && len(tied) > 1 {
+		pr.Tie |= prov.TieSmallestCone
 	}
 	return rels.SmallestCone(tied)
 }
@@ -1068,12 +1161,19 @@ func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOra
 // with the router it connects to. When the interface's origin differs
 // from its IR's annotation the origin identifies the far router;
 // otherwise the connected IRs vote, weighted by how many of their
-// interfaces preceded this one in traceroutes.
-func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch) {
+// interfaces preceded this one in traceroutes. A non-nil pir receives
+// the branch that decided the annotation.
+func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch, pir *prov.IfaceRule) {
 	if i.Kind == ip2as.IXP || i.Origin == asn.None {
+		if pir != nil {
+			*pir = prov.IfaceStatic
+		}
 		return
 	}
 	if i.Origin != i.Router.Annotation {
+		if pir != nil {
+			*pir = prov.IfaceOffPath
+		}
 		i.Annotation = i.Origin
 		return
 	}
@@ -1110,8 +1210,14 @@ func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch) {
 	}
 	switch len(top) {
 	case 0:
+		if pir != nil {
+			*pir = prov.IfaceOriginFallback
+		}
 		i.Annotation = i.Origin
 	case 1:
+		if pir != nil {
+			*pir = prov.IfaceVote
+		}
 		i.Annotation = top[0]
 	default:
 		var related []asn.ASN
@@ -1127,8 +1233,14 @@ func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch) {
 			sc.related = related
 		}
 		if len(related) > 0 {
+			if pir != nil {
+				*pir = prov.IfaceVoteRelated
+			}
 			i.Annotation = rels.LargestCone(related)
 		} else {
+			if pir != nil {
+				*pir = prov.IfaceOriginFallback
+			}
 			i.Annotation = i.Origin
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/ip2as"
 	"repro/internal/obs"
+	"repro/internal/prov"
 	"repro/internal/traceroute"
 )
 
@@ -42,6 +43,12 @@ type Result struct {
 	// convergence trace. Always non-nil; empty (wall clock and peak RSS
 	// only) when no Recorder was attached via Options.
 	Report *obs.Report
+	// Provenance is the run's decision-provenance artifact — per-router
+	// winning heuristic, vote tally, tie-break path, and last-change
+	// iteration, plus per-interface §6.2 branches — collected when
+	// Options.Provenance is set; nil otherwise. It is byte-identical
+	// (via prov.Encode) across worker counts and resume points.
+	Provenance *prov.Artifact
 }
 
 // OperatorOf returns the AS inferred to operate the router owning addr,

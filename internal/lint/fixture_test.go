@@ -78,6 +78,18 @@ func TestLayeringObsFixture(t *testing.T) {
 	checkFixture(t, "layering", "layering/internal/obs", "fixture/internal/obs")
 }
 
+func TestLayeringProvFixture(t *testing.T) {
+	checkFixture(t, "layering", "layering/internal/prov", "fixture/internal/prov")
+}
+
+func TestLayeringExplainFixture(t *testing.T) {
+	checkFixture(t, "layering", "layering/cmd/explain", "fixture/cmd/explain")
+}
+
+func TestNilrecorderProvFixture(t *testing.T) {
+	checkFixture(t, "nilrecorder", "nilrecorder/internal/prov", "fixture/internal/prov")
+}
+
 func TestErrauditFixture(t *testing.T) {
 	checkFixture(t, "erraudit", "erraudit/cmd/tool", "fixture/cmd/tool")
 }

@@ -29,18 +29,32 @@ var loaderSegments = append([]string{
 //   - internal/obs and internal/shard must import only the standard
 //     library, because every other layer (including core's hot loop)
 //     imports them; a dependency added there becomes a dependency of
-//     everything.
+//     everything;
+//   - internal/prov (the provenance artifact format) may import only
+//     the standard library plus internal/asn and internal/ckpt — it is
+//     read by offline tooling that must not drag the engine in;
+//   - cmd/explain answers queries from a serialized artifact alone, so
+//     it must not import internal/core or any loader: if it did, an
+//     explanation could silently come from re-inference instead of the
+//     recorded run.
 var Layering = &Analyzer{
 	Name: "layering",
-	Doc:  "import-DAG rules: core imports no frontends/loaders; obs and shard stay stdlib-only",
+	Doc:  "import-DAG rules: core imports no frontends/loaders; obs and shard stay stdlib-only; prov stays engine-free; explain reads artifacts only",
 	Run:  runLayering,
 }
+
+// provAllowed are the only non-stdlib imports internal/prov may use:
+// the AS number type its records store and the atomic-write/CRC framing
+// helpers it shares with the checkpoint format.
+var provAllowed = []string{"internal/asn", "internal/ckpt"}
 
 func runLayering(p *Pass) {
 	path := p.Pkg.ImportPath
 	coreRules := pathHasSegment(path, "internal/core")
 	stdlibOnly := anySegment(path, "internal/obs", "internal/shard")
-	if !coreRules && !stdlibOnly {
+	provRules := pathHasSegment(path, "internal/prov")
+	explainRules := pathHasSegment(path, "cmd/explain")
+	if !coreRules && !stdlibOnly && !provRules && !explainRules {
 		return
 	}
 	for _, f := range p.Pkg.Files {
@@ -56,6 +70,10 @@ func runLayering(p *Pass) {
 				report(p, spec, "internal/core must not import loader packages (%s): loaders feed the graph builder, not the engine", imp)
 			case stdlibOnly && !p.Pkg.Stdlib[imp]:
 				report(p, spec, "%s must stay dependency-free but imports %s", path, imp)
+			case provRules && !p.Pkg.Stdlib[imp] && !anySegment(imp, provAllowed...):
+				report(p, spec, "internal/prov may import only the stdlib, internal/asn, and internal/ckpt, not %s: offline tooling reads artifacts without the engine", imp)
+			case explainRules && (pathHasSegment(imp, "internal/core") || anySegment(imp, loaderSegments...)):
+				report(p, spec, "cmd/explain must not import %s: explanations come from the recorded artifact, never from re-inference", imp)
 			}
 		}
 	}

@@ -10,12 +10,15 @@ import (
 // if every exported method on a pointer receiver in internal/obs begins
 // by dealing with the nil receiver — either an explicit nil guard, a
 // return built from a nil comparison, or pure delegation to another
-// (guarded) method on the same receiver.
+// (guarded) method on the same receiver. internal/prov inherits the
+// same contract: a run without provenance has a nil *Artifact (and nil
+// *Drift), and query tooling must be able to call into it without
+// branching first.
 var Nilrecorder = &Analyzer{
 	Name: "nilrecorder",
-	Doc:  "exported pointer-receiver methods in the telemetry layer must start with a nil-receiver guard",
+	Doc:  "exported pointer-receiver methods in the telemetry and provenance layers must start with a nil-receiver guard",
 	Applies: func(path string) bool {
-		return pathHasSegment(path, "internal/obs")
+		return anySegment(path, "internal/obs", "internal/prov")
 	},
 	Run: runNilrecorder,
 }

@@ -1,0 +1,15 @@
+// Package main is a layering fixture for the explain frontend: it
+// answers queries from the serialized artifact alone, so the engine and
+// every loader are off-limits — an explanation must come from the
+// recorded run, never from re-inference.
+package main
+
+import (
+	_ "flag" // clean: standard library
+
+	_ "repro/internal/core"       // flagged: the engine
+	_ "repro/internal/prov"       // clean: the artifact format it reads
+	_ "repro/internal/traceroute" // flagged: a loader
+)
+
+func main() {}

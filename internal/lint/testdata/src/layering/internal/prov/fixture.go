@@ -1,0 +1,12 @@
+// Package prov is a layering fixture: the provenance artifact format
+// may use the stdlib, the AS data model, and the checkpoint framing —
+// nothing else, so offline tooling never drags the engine in.
+package prov
+
+import (
+	_ "sort" // clean: standard library
+
+	_ "repro/internal/asn"  // clean: records store AS numbers
+	_ "repro/internal/ckpt" // clean: shared atomic-write/CRC framing
+	_ "repro/internal/obs"  // flagged: outside the allowlist
+)

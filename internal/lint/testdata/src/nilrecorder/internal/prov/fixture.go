@@ -1,0 +1,23 @@
+// Package prov is a nilrecorder fixture: artifact-style types whose
+// exported pointer-receiver methods must open with a nil guard, because
+// a run without provenance hands query tooling a nil artifact.
+package prov
+
+// Art mimics the Artifact contract.
+type Art struct{ n int }
+
+// Count has the early-return guard: clean.
+func (a *Art) Count() int {
+	if a == nil {
+		return 0
+	}
+	return a.n
+}
+
+// Empty returns a nil comparison directly: clean.
+func (a *Art) Empty() bool { return a == nil || a.n == 0 }
+
+// Grow dereferences the receiver with no guard: flagged.
+func (a *Art) Grow() {
+	a.n++
+}

@@ -282,3 +282,37 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Errorf("low buckets = %v", hr.Buckets)
 	}
 }
+
+// TestHistogramQuantileEdges is the regression test for the empty- and
+// single-sample quantile bug: quantiles are exclusive bucket upper
+// bounds, so without clamping an empty histogram of zeros reported
+// P50=1 > Max=0 and any single sample reported quantiles above the only
+// value ever observed.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	hr := snapshotHistogram(&empty)
+	if hr.P50 != 0 || hr.P90 != 0 || hr.P99 != 0 {
+		t.Errorf("empty histogram quantiles = %d/%d/%d, want 0/0/0", hr.P50, hr.P90, hr.P99)
+	}
+
+	for _, v := range []int64{0, 1, 5, 1000} {
+		var h Histogram
+		h.Observe(v)
+		hr := snapshotHistogram(&h)
+		if hr.P50 != v || hr.P90 != v || hr.P99 != v {
+			t.Errorf("single sample %d: quantiles = %d/%d/%d, want the sample itself",
+				v, hr.P50, hr.P90, hr.P99)
+		}
+	}
+
+	// Multi-sample: quantiles stay ordered and never exceed Max.
+	var h Histogram
+	for _, v := range []int64{3, 3, 3, 100} {
+		h.Observe(v)
+	}
+	hr = snapshotHistogram(&h)
+	if hr.P50 > hr.P90 || hr.P90 > hr.P99 || hr.P99 > hr.Max {
+		t.Errorf("quantiles disordered or above max: p50=%d p90=%d p99=%d max=%d",
+			hr.P50, hr.P90, hr.P99, hr.Max)
+	}
+}

@@ -158,10 +158,24 @@ func snapshotHistogram(h *Histogram) HistogramReport {
 			out.Buckets[fmt.Sprintf("%d", upperBound(i))] = n
 		}
 	}
-	out.P50 = quantile(counts[:], out.Count, 0.50)
-	out.P90 = quantile(counts[:], out.Count, 0.90)
-	out.P99 = quantile(counts[:], out.Count, 0.99)
+	// Quantiles are exclusive bucket upper bounds, which overshoot the
+	// data whenever the true value is not a power of two — most visibly
+	// on empty histograms (no quantiles at all) and single-sample ones
+	// (every quantile above the only value seen). The observed Max is an
+	// exact upper bound on every quantile, so clamp to it.
+	if out.Count > 0 {
+		out.P50 = clampMax(quantile(counts[:], out.Count, 0.50), out.Max)
+		out.P90 = clampMax(quantile(counts[:], out.Count, 0.90), out.Max)
+		out.P99 = clampMax(quantile(counts[:], out.Count, 0.99), out.Max)
+	}
 	return out
+}
+
+func clampMax(v, max int64) int64 {
+	if v > max {
+		return max
+	}
+	return v
 }
 
 // upperBound returns the exclusive upper bound of bucket i.

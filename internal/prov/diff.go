@@ -1,0 +1,203 @@
+package prov
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"repro/internal/asn"
+)
+
+// Flip is one router whose annotation differs between two runs,
+// matched through its interface addresses.
+type Flip struct {
+	// Addrs are the router's interface addresses in the new run (the
+	// old run's when the router only exists there), sorted.
+	Addrs []netip.Addr
+	// OldAS/NewAS are the annotations in each run.
+	OldAS, NewAS asn.ASN
+	// OldRule/NewRule are the winning heuristics in each run; drift
+	// reports group by this transition.
+	OldRule, NewRule Rule
+	// OldIter/NewIter are the last-change iterations in each run.
+	OldIter, NewIter int32
+}
+
+// IfaceFlip is one interface whose annotation differs between runs.
+type IfaceFlip struct {
+	Addr             netip.Addr
+	OldAS, NewAS     asn.ASN
+	OldRule, NewRule IfaceRule
+}
+
+// Drift is the annotation delta between two provenance artifacts.
+type Drift struct {
+	// RoutersMatched counts router pairs present in both runs (matched
+	// by shared interface addresses).
+	RoutersMatched int
+	// IfacesMatched counts addresses present in both runs.
+	IfacesMatched int
+	// OnlyOld/OnlyNew count addresses present in exactly one run.
+	OnlyOld, OnlyNew int
+	// RouterFlips lists matched routers whose annotation changed, in
+	// the new run's interface order.
+	RouterFlips []Flip
+	// IfaceFlips lists matched interfaces whose annotation changed, in
+	// sorted-address order.
+	IfaceFlips []IfaceFlip
+}
+
+// Empty reports whether the two runs agree on every matched router and
+// interface and cover the same address set — the zero-drift condition
+// `explain -diff run run` asserts in CI.
+func (d *Drift) Empty() bool {
+	if d == nil {
+		return true
+	}
+	return len(d.RouterFlips) == 0 && len(d.IfaceFlips) == 0 && d.OnlyOld == 0 && d.OnlyNew == 0
+}
+
+// Diff computes the drift from old to cur. Routers are matched through
+// interface addresses (router IDs are run-local); a router pair is
+// compared once even when many addresses connect it. Iterating cur's
+// sorted interfaces makes the output deterministic.
+func Diff(old, cur *Artifact) *Drift {
+	d := &Drift{}
+	if old == nil || cur == nil {
+		return d
+	}
+	oldByAddr := make(map[netip.Addr]int, len(old.Ifaces))
+	for i := range old.Ifaces {
+		oldByAddr[old.Ifaces[i].Addr] = i
+	}
+	type pair struct{ oldR, newR int32 }
+	seen := make(map[pair]bool)
+	matchedNew := make(map[netip.Addr]bool, len(cur.Ifaces))
+	for i := range cur.Ifaces {
+		nf := &cur.Ifaces[i]
+		oi, ok := oldByAddr[nf.Addr]
+		if !ok {
+			d.OnlyNew++
+			continue
+		}
+		matchedNew[nf.Addr] = true
+		of := &old.Ifaces[oi]
+		d.IfacesMatched++
+		if of.Annotation != nf.Annotation {
+			d.IfaceFlips = append(d.IfaceFlips, IfaceFlip{
+				Addr:  nf.Addr,
+				OldAS: of.Annotation, NewAS: nf.Annotation,
+				OldRule: of.Rule, NewRule: nf.Rule,
+			})
+		}
+		pr := pair{of.Router, nf.Router}
+		if seen[pr] {
+			continue
+		}
+		seen[pr] = true
+		d.RoutersMatched++
+		orr := &old.Routers[of.Router]
+		nrr := &cur.Routers[nf.Router]
+		if orr.Annotation == nrr.Annotation {
+			continue
+		}
+		var addrs []netip.Addr
+		for _, f := range cur.RouterIfaces(nf.Router) {
+			addrs = append(addrs, f.Addr)
+		}
+		d.RouterFlips = append(d.RouterFlips, Flip{
+			Addrs: addrs,
+			OldAS: orr.Annotation, NewAS: nrr.Annotation,
+			OldRule: orr.Rule, NewRule: nrr.Rule,
+			OldIter: orr.Iter, NewIter: nrr.Iter,
+		})
+	}
+	for addr := range oldByAddr {
+		if !matchedNew[addr] {
+			d.OnlyOld++
+		}
+	}
+	return d
+}
+
+// Write renders the drift report: totals, then router flips grouped by
+// heuristic transition (largest group first), then interface flips.
+// The grouping is the report's point — a batch of flips all moving
+// from one rule to another localizes which heuristic's inputs changed
+// between the runs.
+func (d *Drift) Write(w io.Writer) error {
+	if d == nil {
+		_, err := fmt.Fprintln(w, "no drift (empty diff)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "matched %d routers over %d interfaces (%d only in old, %d only in new)\n",
+		d.RoutersMatched, d.IfacesMatched, d.OnlyOld, d.OnlyNew); err != nil {
+		return err
+	}
+	if d.Empty() {
+		_, err := fmt.Fprintln(w, "zero drift: every matched router and interface agrees")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%d router flips, %d interface flips\n",
+		len(d.RouterFlips), len(d.IfaceFlips)); err != nil {
+		return err
+	}
+
+	type group struct {
+		from, to Rule
+		flips    []*Flip
+	}
+	byTransition := make(map[[2]Rule]*group)
+	var order []*group
+	for i := range d.RouterFlips {
+		f := &d.RouterFlips[i]
+		key := [2]Rule{f.OldRule, f.NewRule}
+		g, ok := byTransition[key]
+		if !ok {
+			g = &group{from: f.OldRule, to: f.NewRule}
+			byTransition[key] = g
+			order = append(order, g)
+		}
+		g.flips = append(g.flips, f)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if len(order[i].flips) != len(order[j].flips) {
+			return len(order[i].flips) > len(order[j].flips)
+		}
+		if order[i].from != order[j].from {
+			return order[i].from < order[j].from
+		}
+		return order[i].to < order[j].to
+	})
+	for _, g := range order {
+		if _, err := fmt.Fprintf(w, "\n%s -> %s: %d routers\n", g.from, g.to, len(g.flips)); err != nil {
+			return err
+		}
+		for _, f := range g.flips {
+			addr := "(no interfaces)"
+			if len(f.Addrs) > 0 {
+				addr = f.Addrs[0].String()
+				if len(f.Addrs) > 1 {
+					addr += fmt.Sprintf(" (+%d ifaces)", len(f.Addrs)-1)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "  %s: AS%d -> AS%d (last change: iter %d -> iter %d)\n",
+				addr, f.OldAS, f.NewAS, f.OldIter, f.NewIter); err != nil {
+				return err
+			}
+		}
+	}
+	if len(d.IfaceFlips) > 0 {
+		if _, err := fmt.Fprintf(w, "\ninterface flips:\n"); err != nil {
+			return err
+		}
+		for _, f := range d.IfaceFlips {
+			if _, err := fmt.Fprintf(w, "  %s: AS%d (%s) -> AS%d (%s)\n",
+				f.Addr, f.OldAS, f.OldRule, f.NewAS, f.NewRule); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
