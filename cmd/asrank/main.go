@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/asrel"
 	"repro/internal/bgp"
+	"repro/internal/ckpt"
 	"repro/internal/mrt"
 	"repro/internal/pfx2as"
 )
@@ -88,29 +90,17 @@ func main() {
 	}
 
 	if *pfxOut != "" {
-		pf, err := os.Create(*pfxOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pfx2as.Write(pf, pfx2as.FromRoutes(routes)); err != nil {
-			_ = pf.Close() // the write error is the one worth reporting
-			log.Fatal(err)
-		}
-		if err := pf.Close(); err != nil {
+		if err := ckpt.AtomicWrite(*pfxOut, func(w io.Writer) error {
+			return pfx2as.Write(w, pfx2as.FromRoutes(routes))
+		}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("prefix2as written to", *pfxOut)
 	}
 	if *out != "" {
-		of, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := g.Write(of); err != nil {
-			_ = of.Close() // the write error is the one worth reporting
-			log.Fatal(err)
-		}
-		if err := of.Close(); err != nil {
+		if err := ckpt.AtomicWrite(*out, func(w io.Writer) error {
+			return g.Write(w)
+		}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("relationships written to", *out)

@@ -4,15 +4,28 @@
 //
 // Usage:
 //
-//	bdrmapitlint [-checks maporder,noclock,...] [-list] [packages]
+//	bdrmapitlint [-checks maporder,noclock,...] [-list] [-json]
+//	             [-baseline lint.baseline] [-write-baseline lint.baseline]
+//	             [packages]
 //
 // With no patterns it analyzes ./.... Findings print one per line as
-// file:line: check: message. A finding is suppressed by annotating the
+// file:line: check: message (or, with -json, as one JSON object per
+// line with file/line/check/message fields — the format the CI problem
+// matcher consumes). A finding is suppressed by annotating the
 // offending line (or the line above it) with:
 //
 //	//lint:ignore <check> <reason>
 //
 // where the reason documents why the invariant holds at that site.
+// When the full suite runs, annotations that no longer suppress
+// anything are themselves findings (check "ignoreaudit"): a stale
+// waiver will silently eat the next real finding on its line.
+//
+// -baseline filters findings through a grandfathering ledger: entries
+// in the file are tolerated (tracked debt), new findings fail, and
+// ledger entries that no longer fire also fail so the file must shrink
+// with the fixes it tracked. -write-baseline regenerates the ledger
+// from the current findings and exits.
 package main
 
 import (
@@ -44,19 +57,23 @@ func fixtureImportPath(dir string) string {
 func main() {
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines (file/line/check/message)")
+	baselinePath := flag.String("baseline", "", "filter findings through this grandfathering ledger")
+	writeBaseline := flag.String("write-baseline", "", "regenerate the ledger at this path from current findings and exit")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-12s %s\n", "ignore", "(runner) //lint:ignore annotations must name a check and a reason")
+		fmt.Printf("%-12s %s\n", "ignoreaudit", "(runner) //lint:ignore annotations that suppress nothing are stale and must be deleted")
 		return
 	}
 
 	analyzers, err := lint.Select(*checks)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bdrmapitlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	patterns := flag.Args()
@@ -72,8 +89,7 @@ func main() {
 		if st, err := os.Stat(pat); err == nil && st.IsDir() && strings.Contains(pat, "testdata") {
 			pkg, err := lint.LoadDir(pat, fixtureImportPath(pat))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "bdrmapitlint:", err)
-				os.Exit(2)
+				fatal(err)
 			}
 			pkgs = append(pkgs, pkg)
 			continue
@@ -83,26 +99,73 @@ func main() {
 	if len(listPatterns) > 0 {
 		listed, err := lint.Load(".", listPatterns...)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bdrmapitlint:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		pkgs = append(pkgs, listed...)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	diags = append(diags, lint.BadIgnores(pkgs)...)
+	diags, stale := lint.RunAudited(pkgs, analyzers)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil {
-				name = rel
-			}
+
+	if *writeBaseline != "" {
+		// The ledger records analyzer findings only: stale ignores and
+		// malformed annotations are always hard errors — grandfathering
+		// a broken waiver would hide real findings forever.
+		if err := lint.WriteBaseline(*writeBaseline, cwd, diags); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s:%d: %s: %s\n", name, d.Pos.Line, d.Check, d.Message)
+		fmt.Fprintf(os.Stderr, "bdrmapitlint: wrote %d entr%s to %s\n",
+			len(diags), plural(len(diags), "y", "ies"), *writeBaseline)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "bdrmapitlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	var unused []string
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		diags, unused = base.Filter(cwd, diags)
+	}
+	diags = append(diags, stale...)
+	diags = append(diags, lint.BadIgnores(pkgs)...)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, cwd, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d: %s: %s\n", name, d.Pos.Line, d.Check, d.Message)
+		}
+	}
+	for _, entry := range unused {
+		fmt.Fprintf(os.Stderr, "bdrmapitlint: baseline entry no longer fires: %s\n",
+			strings.ReplaceAll(entry, "\t", " "))
+	}
+	if len(unused) > 0 {
+		fmt.Fprintf(os.Stderr, "bdrmapitlint: the violations above were fixed; regenerate the ledger (make lint-baseline) so it keeps tracking reality\n")
+	}
+	if len(diags) > 0 || len(unused) > 0 {
+		fmt.Fprintf(os.Stderr, "bdrmapitlint: %d finding(s) in %d package(s)\n", len(diags)+len(unused), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bdrmapitlint:", err)
+	os.Exit(2)
 }

@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"hash/fnv"
+	"io"
 	"log"
 	"net/netip"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/asrel"
 	"repro/internal/benchfmt"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -246,15 +248,10 @@ func main() {
 		*out, obs.FormatDuration(file.WallNS), obs.FormatBytes(file.PeakRSSBytes))
 
 	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			log.Fatal(err)
-		}
 		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := ckpt.AtomicWrite(*memprofile, func(w io.Writer) error {
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -15,10 +15,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/obs"
@@ -134,7 +136,10 @@ func main() {
 			if _, err := os.Stdout.Write(data); err != nil {
 				log.Fatal(err)
 			}
-		} else if err := os.WriteFile(*repJSON, data, 0o644); err != nil {
+		} else if err := ckpt.AtomicWrite(*repJSON, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -8,8 +8,10 @@ package benchfmt
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/topo"
 )
 
@@ -219,14 +221,20 @@ func Read(path string) (*File, error) {
 }
 
 // Write encodes f to path, indented for reviewable diffs, with a
-// trailing newline so the committed artifact is a well-formed text file.
+// trailing newline so the committed artifact is a well-formed text
+// file. The file is published atomically: a benchmark run killed
+// mid-write must not leave a torn BENCH_*.json that a later
+// -bench-compare silently trusts.
 func Write(path string, f *File) error {
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchfmt: encode: %w", err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := ckpt.AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
 		return fmt.Errorf("benchfmt: %w", err)
 	}
 	return nil

@@ -178,7 +178,6 @@ func (c *ckptRunner) save(g *Graph, res *Result, cycles *cycleDetector, traceRow
 		st.Ifaces[i] = uint32(g.Interfaces[addr].Annotation)
 	}
 	st.Hashes = make([]ckpt.IterHash, 0, len(cycles.seen))
-	//lint:ignore maporder entries are collected then sorted by iteration below
 	for h, iter := range cycles.seen {
 		st.Hashes = append(st.Hashes, ckpt.IterHash{Hash: h, Iter: iter})
 	}

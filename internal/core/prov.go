@@ -32,12 +32,16 @@ func newProvCollector(g *Graph) *provCollector {
 // snapshot commits the current router records as the rollback target
 // for the iteration about to run (one flat copy; trivial next to the
 // annotation passes it brackets).
+//
+//lint:hotpath
 func (pc *provCollector) snapshot() {
 	copy(pc.prevRouters, pc.routers)
 }
 
 // rollback restores the records snapshot took, mirroring the
 // annotation rollback after a step-3 cancellation.
+//
+//lint:hotpath
 func (pc *provCollector) rollback() {
 	copy(pc.routers, pc.prevRouters)
 }
@@ -78,6 +82,8 @@ func (pc *provCollector) artifact(g *Graph, res *Result) *prov.Artifact {
 // tally: the winner's count and the strongest other candidate (count,
 // then smallest ASN — a total order, so the reduction is visit-order
 // independent).
+//
+//lint:hotpath
 func fillTally(pr *prov.Record, votes asn.Counter, winner asn.ASN) {
 	if pr == nil {
 		return

@@ -4,7 +4,6 @@ import (
 	"context"
 	"hash/fnv"
 	"net/netip"
-	"sort"
 	"sync"
 	"time"
 
@@ -141,6 +140,8 @@ func newVoteScratch() *voteScratch {
 // reset readies the scratch for the next router: clears the voting maps
 // and returns every freelist set to the pool. The sets themselves are
 // cleared lazily on handout.
+//
+//lint:hotpath
 func (sc *voteScratch) reset() {
 	clear(sc.votes)
 	clear(sc.m)
@@ -149,6 +150,8 @@ func (sc *voteScratch) reset() {
 }
 
 // newSet hands out an empty set, recycling the freelist before growing.
+//
+//lint:hotpath
 func (sc *voteScratch) newSet() asn.Set {
 	if sc.used < len(sc.sets) {
 		s := sc.sets[sc.used]
@@ -175,6 +178,8 @@ func scNewSet(sc *voteScratch) asn.Set {
 // tied-max ASes land in dst[:0] (ascending) with the max count. The
 // optimized path uses it to keep the per-router/per-interface election
 // allocation-free.
+//
+//lint:hotpath
 func maxInto(votes asn.Counter, dst []asn.ASN) ([]asn.ASN, int) {
 	best := 0
 	//lint:ignore maporder pure max reduction; every visit order yields the same maximum
@@ -193,7 +198,14 @@ func maxInto(votes asn.Counter, dst []asn.ASN) ([]asn.ASN, int) {
 			out = append(out, v)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Insertion sort: ties are almost always 1–2 entries, and
+	// sort.Slice's comparator closure escapes (one allocation per
+	// election — measurable across millions of routers per iteration).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out, best
 }
 
@@ -240,6 +252,7 @@ type iterTally struct {
 	heurDestTie     int64 // destination-coverage tie-break decided a tie
 }
 
+//lint:hotpath
 func (t *iterTally) add(o *iterTally) {
 	t.changedRouters += o.changedRouters
 	t.changedIfaces += o.changedIfaces
@@ -335,6 +348,7 @@ func (c *refineCounters) flush(t *iterTally) {
 // of worker count and shard boundaries: Run(w=1) and Run(w=N) produce
 // byte-identical results.
 func Run(g *Graph, rels RelationshipOracle, opts Options) *Result {
+	//lint:ignore ctxflow Run is the documented no-cancellation entry point; Background here means "never cancelled", and cancellable runs go through RunContext
 	res, err := RunContext(context.Background(), g, rels, opts)
 	if err != nil {
 		// Only checkpoint I/O or an incompatible resume can fail; both
@@ -461,7 +475,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 	// Annotation only, so it, like the first iteration, needs the full
 	// copy — which the initial true covers for both.
 	fullSnapshot := true
-	var mu sync.Mutex // merges per-shard tallies into the iteration total
+	var mu sync.Mutex //lint:mutex merges per-shard telemetry tallies into the iteration total; never guards annotation state
 	for iter := startIter; iter <= opts.MaxIterations; iter++ {
 		var it iterTally
 		// Step 1: snapshot. A cancellation observed here leaves every
@@ -568,6 +582,7 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 				mu.Unlock()
 			}
 		}, ifaceTiming) {
+			//lint:ignore ctxflow the rollback must run precisely because ctx is already cancelled: it restores the snapshot so the partial result is the last committed iteration
 			shard.For(len(g.Routers), opts.Workers, func(lo, hi int) {
 				for _, r := range g.Routers[lo:hi] {
 					r.Annotation = r.prevAnnotation
@@ -822,6 +837,8 @@ func annotateRouter(r *Router, rels RelationshipOracle, opts Options, t *iterTal
 
 // electFrom picks the AS with the most votes among the allowed set.
 // asn.None when no allowed AS has votes.
+//
+//lint:hotpath
 func electFrom(r *Router, votes asn.Counter, allowed asn.Set, rels RelationshipOracle, opts Options, t *iterTally, sc *voteScratch, pr *prov.Record) asn.ASN {
 	best := 0
 	//lint:ignore maporder pure max reduction; every visit order yields the same maximum
@@ -1163,6 +1180,8 @@ func hiddenAS(r *Router, selected asn.ASN, backing asn.Set, rels RelationshipOra
 // otherwise the connected IRs vote, weighted by how many of their
 // interfaces preceded this one in traceroutes. A non-nil pir receives
 // the branch that decided the annotation.
+//
+//lint:hotpath
 func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch, pir *prov.IfaceRule) {
 	if i.Kind == ip2as.IXP || i.Origin == asn.None {
 		if pir != nil {
@@ -1191,6 +1210,7 @@ func annotateInterface(i *Interface, rels RelationshipOracle, sc *voteScratch, p
 		clear(sc.ifVotes)
 		votes = sc.ifVotes
 	} else {
+		//lint:ignore hotpath reference (no-scratch) arm only; the optimized path reuses sc.ifVotes above
 		votes = make(asn.Counter)
 	}
 	for _, l := range i.InLinks {

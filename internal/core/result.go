@@ -151,6 +151,7 @@ func (res *Result) ASLinks() [][2]asn.ASN {
 func Infer(traces []*traceroute.Trace, resolver *ip2as.Resolver,
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) *Result {
 
+	//lint:ignore ctxflow Infer is the documented no-cancellation entry point; Background here means "never cancelled", and cancellable runs go through InferContext
 	res, err := InferContext(context.Background(), traces, resolver, aliases, rels, opts)
 	if err != nil {
 		// context.Background is never cancelled, so only checkpoint I/O

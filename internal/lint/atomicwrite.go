@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicwrite funnels every artifact publish through ckpt.AtomicWrite.
+// The crash-safety story — no torn annotations file, no half-written
+// checkpoint, resumable runs whose outputs are byte-identical — is a
+// single invariant in a single function (write temp, fsync, rename,
+// sync dir), and it only holds if no writer sidesteps it. Outside
+// internal/ckpt, the raw publishing primitives are banned: os.Create
+// and os.WriteFile leave a torn file when the process dies mid-write,
+// os.Rename is the half of the atomic protocol that loses the fsync,
+// and bufio.NewWriter around an *os.File buffers bytes that a crash
+// silently drops after the writer looked done. os.CreateTemp stays
+// legal — temp files are the protocol's ingredient, not a publish —
+// and writers that accept an io.Writer stay legal because the sink's
+// owner chose how to publish.
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "artifact files must be published via ckpt.AtomicWrite, not raw os.Create/os.WriteFile/os.Rename",
+	Applies: func(path string) bool {
+		return !pathHasSegment(path, "internal/ckpt")
+	},
+	Run: runAtomicwrite,
+}
+
+// atomicwriteBanned maps banned os functions to what goes wrong.
+var atomicwriteBanned = map[string]string{
+	"Create":    "a crash mid-write leaves a torn file",
+	"WriteFile": "a crash mid-write leaves a torn file",
+	"Rename":    "a rename without the temp-fsync-rename-syncdir protocol publishes unsynced bytes",
+}
+
+func runAtomicwrite(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "os":
+				if why, ok := atomicwriteBanned[fn.Name()]; ok {
+					p.Reportf(call.Pos(),
+						"os.%s bypasses the atomic-publish protocol (%s); route the write through ckpt.AtomicWrite or annotate //lint:ignore atomicwrite <reason>",
+						fn.Name(), why)
+				}
+			case "bufio":
+				if (fn.Name() == "NewWriter" || fn.Name() == "NewWriterSize") &&
+					len(call.Args) > 0 && isOSFile(p.TypeOf(call.Args[0])) {
+					p.Reportf(call.Pos(),
+						"bufio.%s over an *os.File buffers bytes a crash can drop; publish via ckpt.AtomicWrite (which owns flushing) or annotate //lint:ignore atomicwrite <reason>",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

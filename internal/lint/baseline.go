@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/ckpt"
+)
+
+// Baseline is the grandfathering ledger: a multiset of known findings
+// (check, repo-relative file, message — deliberately no line number, so
+// unrelated edits that shift code do not churn the file) that the lint
+// gate tolerates while they are burned down. A finding not in the
+// baseline fails the run; a baseline entry that no longer fires also
+// fails the run, forcing the ledger to shrink in the same commit that
+// fixes the violation — the baseline can only ever track reality.
+type Baseline map[string]int
+
+// baselineKey builds the ledger key for d with the file path made
+// relative to root (slash-separated, so the ledger is portable across
+// checkouts and platforms). Both sides are absolutized first so a
+// relative root still matches the loader's absolute positions.
+func baselineKey(root string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if root != "" {
+		absRoot, rerr := filepath.Abs(root)
+		absFile, ferr := filepath.Abs(file)
+		if rerr == nil && ferr == nil {
+			if rel, err := filepath.Rel(absRoot, absFile); err == nil {
+				file = rel
+			}
+		}
+	}
+	return d.Check + "\t" + filepath.ToSlash(file) + "\t" + d.Message
+}
+
+// LoadBaseline reads the ledger at path. A missing file is an empty
+// baseline: the zero state is "every finding is new".
+func LoadBaseline(path string) (Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := Baseline{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline entry (want check<TAB>file<TAB>message)", path, lineno)
+		}
+		b[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Filter splits diags into the findings the baseline does not cover
+// (fresh — these fail the gate) and the ledger entries no finding
+// consumed (unused — the violation was fixed, so the ledger must be
+// regenerated). Duplicate findings consume duplicate entries.
+func (b Baseline) Filter(root string, diags []Diagnostic) (fresh []Diagnostic, unused []string) {
+	budget := make(Baseline, len(b))
+	for k, n := range b {
+		budget[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k, n := range budget {
+		for i := 0; i < n; i++ {
+			unused = append(unused, k)
+		}
+	}
+	sort.Strings(unused)
+	return fresh, unused
+}
+
+// WriteBaseline regenerates the ledger at path from the current
+// findings, sorted and deduplicated into counted entries, published
+// atomically like every other artifact in this repository.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	keys := make([]string, len(diags))
+	for i, d := range diags {
+		keys[i] = baselineKey(root, d)
+	}
+	sort.Strings(keys)
+	return ckpt.AtomicWrite(path, func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "# bdrmapitlint baseline: grandfathered findings, one per line as check<TAB>file<TAB>message.\n# Regenerate with `make lint-baseline`; the gate fails on findings missing from this\n# ledger AND on ledger entries that no longer fire, so it always tracks reality.\n"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintln(w, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// JSONDiagnostic is the -json wire form of one finding: one object per
+// line, field order fixed by this struct, so the output is both
+// machine-diffable and matchable by a line-oriented GitHub problem
+// matcher.
+type JSONDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits diags to w as JSON lines, with file paths made
+// relative to root.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			absRoot, rerr := filepath.Abs(root)
+			absFile, ferr := filepath.Abs(file)
+			if rerr == nil && ferr == nil {
+				if rel, err := filepath.Rel(absRoot, absFile); err == nil {
+					file = rel
+				}
+			}
+		}
+		data, err := json.Marshal(JSONDiagnostic{
+			File:    filepath.ToSlash(file),
+			Line:    d.Pos.Line,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

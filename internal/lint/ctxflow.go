@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow keeps cancellation threaded end to end. The engine's
+// interruption guarantee — a cancelled run is byte-identical to some
+// iteration-capped run — only holds because every batch loop between
+// the entry point and the shard pool observes the same ctx; one callee
+// quietly given context.Background() re-introduces an uncancellable
+// stretch, and one call to a non-ctx variant (shard.For where ForCtx
+// exists) silently detaches a whole batch from the contract.
+//
+// Three rules, scoped to the refinement core, the shard substrate, and
+// the module root (the layers the cancellation contract spans):
+//
+//  1. a function that accepts a context must hand that context (or a
+//     value derived from it) to every callee that accepts one — passing
+//     a fresh Background()/TODO() instead is a finding;
+//  2. inside a context-bearing function, calling F when the same
+//     package declares a context-accepting sibling FCtx or FContext
+//     drops the context on the floor and is a finding;
+//  3. in internal/core and internal/shard, context.Background() and
+//     context.TODO() are banned outright — contexts are threaded in
+//     from the frontends, never minted in the engine.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context-bearing functions must thread their ctx to every context-accepting callee",
+	Applies: func(path string) bool {
+		return anySegment(path, "internal/core", "internal/shard") || !hasSlash(path)
+	},
+	Run: runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	banFresh := anySegment(p.Pkg.ImportPath, "internal/core", "internal/shard")
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(p, fd)
+		}
+		if banFresh {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgFunc(p.Pkg.Info, call, "context", "Background") || isPkgFunc(p.Pkg.Info, call, "context", "TODO") {
+					p.Reportf(call.Pos(),
+						"%s mints a fresh context in the engine; thread the caller's ctx in or annotate //lint:ignore ctxflow <reason>",
+						exprString(call.Fun))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxFunc applies rules 1 and 2 to one declared function,
+// including the bodies of its nested literals (a closure capturing ctx
+// inherits the threading obligation).
+func checkCtxFunc(p *Pass, fd *ast.FuncDecl) {
+	ctxParams := ctxParamObjs(p, fd.Type.Params)
+	if len(ctxParams) == 0 {
+		return
+	}
+	df := newDataflow(p.Pkg.Info, fd)
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && ctxParams[obj] {
+				used = true
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkCtxCall(p, df, ctxParams, call)
+		return true
+	})
+	if !used {
+		name := fd.Name.Name
+		p.Reportf(fd.Name.Pos(),
+			"%s accepts a context but never uses it; thread it to the callees or drop the parameter", name)
+	}
+}
+
+// checkCtxCall enforces rules 1 and 2 on one call site.
+func checkCtxCall(p *Pass, df *dataflow, ctxParams map[types.Object]bool, call *ast.CallExpr) {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "context" {
+		return // context's own constructors (WithCancel etc.) are the derivation steps
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if !acceptsContext(sig) {
+		// Rule 2: a context-accepting sibling exists — the call drops ctx.
+		for _, suffix := range []string{"Ctx", "Context"} {
+			sib, ok := fn.Pkg().Scope().Lookup(fn.Name() + suffix).(*types.Func)
+			if !ok {
+				continue
+			}
+			if ssig, ok := sib.Type().(*types.Signature); ok && acceptsContext(ssig) {
+				p.Reportf(call.Pos(),
+					"call to %s.%s drops the in-scope ctx; call %s.%s so cancellation reaches this batch, or annotate //lint:ignore ctxflow <reason>",
+					fn.Pkg().Name(), fn.Name(), fn.Pkg().Name(), sib.Name())
+				return
+			}
+		}
+		return
+	}
+	// Rule 1: the callee accepts a context; the argument in that slot
+	// must derive from this function's ctx.
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			break
+		}
+		pi := i
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if !isContextType(sig.Params().At(pi).Type()) {
+			continue
+		}
+		if df.exprDerives(arg, ctxParams) {
+			continue
+		}
+		if callIsFreshContext(p, arg) {
+			p.Reportf(arg.Pos(),
+				"passes a fresh %s to %s while a ctx parameter is in scope; pass the ctx (or a context derived from it), or annotate //lint:ignore ctxflow <reason>",
+				exprString(arg), fn.Name())
+		} else {
+			p.Reportf(arg.Pos(),
+				"argument %s to %s does not derive from this function's ctx; cancellation will not reach the callee — pass the ctx, or annotate //lint:ignore ctxflow <reason>",
+				exprString(arg), fn.Name())
+		}
+	}
+}
+
+// callIsFreshContext reports whether e is context.Background() or
+// context.TODO().
+func callIsFreshContext(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(p.Pkg.Info, call, "context", "Background") ||
+		isPkgFunc(p.Pkg.Info, call, "context", "TODO")
+}
+
+// ctxParamObjs collects the parameter objects of context.Context type.
+func ctxParamObjs(p *Pass, params *ast.FieldList) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if params == nil {
+		return out
+	}
+	for _, f := range params.List {
+		for _, name := range f.Names {
+			if name.Name == "_" {
+				continue // explicitly discarded: the visible opt-out
+			}
+			obj := p.Pkg.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// acceptsContext reports whether any parameter of sig is a
+// context.Context.
+func acceptsContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

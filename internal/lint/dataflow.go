@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// dataflow is an intra-procedural assignment/capture graph: for every
+// variable assigned inside one function (or function literal) it records
+// which other variables the assigned value was built from. It is the
+// shared substrate of the dataflow-aware checkers — shardsafe asks "does
+// this index derive from the shard's [lo,hi) range?", ctxflow asks "does
+// this argument derive from the function's ctx parameter?", hotpath asks
+// "does this append target derive from caller-owned storage?" — without
+// any of them re-implementing reachability.
+//
+// The graph is deliberately flow-insensitive and source-lenient: a
+// variable's source set is the union over every assignment to it, and a
+// value "derives from" a root if any path of assignments reaches the
+// root. That direction of approximation suits invariant checking — the
+// checkers use derivation as evidence of safety (shard-owned index,
+// threaded context, reused storage), so merging branches can only make
+// them more permissive, never flag correct code.
+type dataflow struct {
+	info *types.Info
+	// sources maps a variable to the set of variables its assigned
+	// values reference (assignment RHS, range operand, loop init).
+	sources map[types.Object]map[types.Object]bool
+}
+
+// newDataflow builds the assignment graph for the statements under root
+// (a function body, including any nested literals).
+func newDataflow(info *types.Info, root ast.Node) *dataflow {
+	df := &dataflow{info: info, sources: make(map[types.Object]map[types.Object]bool)}
+	if root == nil {
+		return df
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			df.recordAssign(n)
+		case *ast.RangeStmt:
+			df.recordRange(n)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					df.addEdges(name, n.Values[i])
+				} else if len(n.Values) == 1 {
+					df.addEdges(name, n.Values[0])
+				}
+			}
+		}
+		return true
+	})
+	return df
+}
+
+// recordAssign adds edges lhs <- vars(rhs). A one-to-one assignment
+// pairs positionally; a tuple assignment (x, y := f(a)) conservatively
+// feeds every RHS variable into every LHS.
+func (df *dataflow) recordAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			df.addEdges(lhs, as.Rhs[i])
+		}
+		return
+	}
+	for _, lhs := range as.Lhs {
+		for _, rhs := range as.Rhs {
+			df.addEdges(lhs, rhs)
+		}
+	}
+}
+
+// recordRange feeds the range operand's variables into the key and
+// value variables: an element drawn from a shard-owned slice is itself
+// shard-owned.
+func (df *dataflow) recordRange(rs *ast.RangeStmt) {
+	if rs.Key != nil {
+		df.addEdges(rs.Key, rs.X)
+	}
+	if rs.Value != nil {
+		df.addEdges(rs.Value, rs.X)
+	}
+}
+
+// addEdges records that the variable behind lhs derives from every
+// variable mentioned in rhs. Compound assignment targets (x.f = …,
+// x[i] = …) are attributed to their root variable: writing through a
+// path taints the root's derivation no further, so only plain
+// identifiers and the path root matter.
+func (df *dataflow) addEdges(lhs ast.Expr, rhs ast.Expr) {
+	obj := df.objOf(rootIdent(lhs))
+	if obj == nil {
+		return
+	}
+	set := df.sources[obj]
+	if set == nil {
+		set = make(map[types.Object]bool)
+		df.sources[obj] = set
+	}
+	for _, src := range df.varsIn(rhs) {
+		if src != obj {
+			set[src] = true
+		}
+	}
+}
+
+// varsIn returns every variable object referenced inside e, skipping
+// selector field names (x.f mentions x, not f).
+func (df *dataflow) varsIn(e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// Visit only the operand: the selected name is a field or
+			// method, not a variable in this function's frame.
+			for _, v := range df.varsIn(sel.X) {
+				out = append(out, v)
+			}
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := df.objOf(id); obj != nil {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// objOf resolves an identifier to the variable it names, or nil.
+func (df *dataflow) objOf(id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	obj := df.info.Uses[id]
+	if obj == nil {
+		obj = df.info.Defs[id]
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}
+
+// derives reports whether obj's value transitively derives from any of
+// the root variables.
+func (df *dataflow) derives(obj types.Object, roots map[types.Object]bool) bool {
+	if obj == nil {
+		return false
+	}
+	seen := make(map[types.Object]bool)
+	var walk func(o types.Object) bool
+	walk = func(o types.Object) bool {
+		if roots[o] {
+			return true
+		}
+		if seen[o] {
+			return false
+		}
+		seen[o] = true
+		for src := range df.sources[o] {
+			if walk(src) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(obj)
+}
+
+// exprDerives reports whether any variable mentioned in e derives from
+// the roots: the evidence shardsafe accepts that an access path is
+// owned by the shard's index range.
+func (df *dataflow) exprDerives(e ast.Expr, roots map[types.Object]bool) bool {
+	for _, v := range df.varsIn(e) {
+		if df.derives(v, roots) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent peels an access path (x, x.f, x[i], *x, x.f[i].g, (x)) down
+// to its root identifier, or nil for paths rooted in calls or literals.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node —
+// the capture test: a variable referenced by a function literal but
+// declared outside it is captured shared state.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != token.NoPos &&
+		obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// paramObjs collects the variable objects of a function's parameters
+// (and, for declared methods, the receiver) from its field lists.
+func paramObjs(info *types.Info, fields ...*ast.FieldList) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isPkgFunc reports whether call invokes the function pkgPath.name
+// (resolved through the type info, so aliased imports are seen through).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves the called function object, or nil for calls
+// through function values, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// directiveLines collects, per file and check-insensitive, the lines
+// carrying a //lint:<directive> comment (e.g. "hotpath", "mutex"),
+// mapping line -> the directive's argument text.
+func directiveLines(pkg *Package, directive string) map[string]map[int]string {
+	out := make(map[string]map[int]string)
+	prefix := "//lint:" + directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutDirective(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = rest
+			}
+		}
+	}
+	return out
+}
+
+// cutDirective matches text against a //lint:<name> prefix, requiring
+// the directive name to end there (so //lint:hotpathological does not
+// match "hotpath"), and returns the trimmed argument text.
+func cutDirective(text, prefix string) (string, bool) {
+	if len(text) < len(prefix) || text[:len(prefix)] != prefix {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	for rest != "" && (rest[0] == ' ' || rest[0] == '\t') {
+		rest = rest[1:]
+	}
+	return rest, true
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Erraudit flags silently dropped error returns in the packages where a
@@ -15,6 +16,15 @@ import (
 // decision and is left alone, as are fmt's printing functions and
 // writers that are documented never to fail (strings.Builder,
 // bytes.Buffer).
+//
+// It also flags `defer f.Close()` when f was opened for writing in the
+// same function (os.Create, os.CreateTemp, or os.OpenFile with a write
+// flag): Close is where buffered write errors and ENOSPC surface, and a
+// deferred bare Close throws that error away — the file looks written
+// and isn't. Read-only files keep the idiom (their Close error is
+// uninteresting); writable files must close-and-check, or better,
+// publish through ckpt.AtomicWrite, which owns the flush/sync/close
+// sequencing.
 var Erraudit = &Analyzer{
 	Name: "erraudit",
 	Doc:  "loaders, cmd mains, and the checkpoint subsystem must not silently drop error returns",
@@ -36,18 +46,93 @@ var errauditExemptRecv = map[string]bool{
 func runErraudit(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			es, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok || !returnsError(p, call) || exemptCall(p, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "unchecked error returned by %s", exprString(call.Fun))
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkDeferredClose(p, n)
+				}
 			}
-			call, ok := es.X.(*ast.CallExpr)
-			if !ok || !returnsError(p, call) || exemptCall(p, call) {
-				return true
-			}
-			p.Reportf(call.Pos(), "unchecked error returned by %s", exprString(call.Fun))
 			return true
 		})
 	}
+}
+
+// writableOpeners are the os functions whose result must not be closed
+// by a bare deferred Close. OpenFile counts only when its flags mention
+// a write mode (checked textually — the flag expression is almost
+// always a literal | of os constants).
+var writableOpeners = map[string]bool{"Create": true, "CreateTemp": true, "OpenFile": true}
+
+// checkDeferredClose flags `defer f.Close()` for every f assigned from
+// a writable open in fd's body.
+func checkDeferredClose(p *Pass, fd *ast.FuncDecl) {
+	writable := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isWritableOpen(p, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Defs[id]; obj != nil {
+				writable[obj] = true
+			} else if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				writable[obj] = true
+			}
+		}
+		return true
+	})
+	if len(writable) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !writable[p.Pkg.Info.Uses[id]] {
+			return true
+		}
+		p.Reportf(def.Pos(),
+			"defer %s.Close() on a file opened for writing discards the close error (buffered writes and ENOSPC surface there); close-and-check explicitly or publish via ckpt.AtomicWrite",
+			id.Name)
+		return true
+	})
+}
+
+// isWritableOpen reports whether call opens a file for writing.
+func isWritableOpen(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !writableOpeners[fn.Name()] {
+		return false
+	}
+	if fn.Name() != "OpenFile" {
+		return true
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	flags := exprString(call.Args[1])
+	for _, w := range []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"} {
+		if strings.Contains(flags, w) {
+			return true
+		}
+	}
+	return false
 }
 
 // returnsError reports whether any result of call has type error.

@@ -16,7 +16,8 @@ var update = flag.Bool("update", false, "rewrite the fixtures' expected.txt gold
 // checkFixture runs one analyzer over the fixture package in
 // testdata/src/<dir> (type-checked under the synthetic import path
 // importPath, so scoping rules see realistic paths) and compares the
-// findings against the golden file testdata/src/<dir>/expected.txt.
+// findings — including ignore-audit findings for stale suppressions —
+// against the golden file testdata/src/<dir>/expected.txt.
 func checkFixture(t *testing.T, check, dir, importPath string) {
 	t.Helper()
 	fixDir := filepath.Join("testdata", "src", dir)
@@ -28,8 +29,9 @@ func checkFixture(t *testing.T, check, dir, importPath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	diags, stale := lint.RunAudited([]*lint.Package{pkg}, analyzers)
 	var lines []string
-	for _, d := range lint.Run([]*lint.Package{pkg}, analyzers) {
+	for _, d := range append(diags, stale...) {
 		lines = append(lines, fmt.Sprintf("%s:%d: %s: %s",
 			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Check, d.Message))
 	}
@@ -96,4 +98,80 @@ func TestErrauditFixture(t *testing.T) {
 
 func TestErrauditCkptFixture(t *testing.T) {
 	checkFixture(t, "erraudit", "erraudit/internal/ckpt", "fixture/internal/ckpt")
+}
+
+func TestShardsafeFixture(t *testing.T) {
+	checkFixture(t, "shardsafe", "shardsafe/internal/core", "fixture/internal/core")
+}
+
+func TestAtomicwriteFixture(t *testing.T) {
+	checkFixture(t, "atomicwrite", "atomicwrite/cmd/tool", "fixture/cmd/tool")
+}
+
+func TestAtomicwriteCkptFixture(t *testing.T) {
+	checkFixture(t, "atomicwrite", "atomicwrite/internal/ckpt", "fixture/internal/ckpt")
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	checkFixture(t, "ctxflow", "ctxflow/internal/core", "fixture/internal/core")
+}
+
+func TestCtxflowOutOfScope(t *testing.T) {
+	checkFixture(t, "ctxflow", "ctxflow/otherpkg", "fixture/otherpkg")
+}
+
+func TestHotpathFixture(t *testing.T) {
+	checkFixture(t, "hotpath", "hotpath/internal/core", "fixture/internal/core")
+}
+
+func TestIgnoreauditFixture(t *testing.T) {
+	checkFixture(t, "maporder", "ignoreaudit/internal/core", "fixture/internal/core")
+}
+
+// TestEveryCheckerHasFixture pins the registry to the fixture tree:
+// adding an analyzer without a golden fixture (or orphaning a fixture
+// directory after renaming a check) fails here, not in review.
+func TestEveryCheckerHasFixture(t *testing.T) {
+	dirs, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[string]bool)
+	for _, d := range dirs {
+		if d.IsDir() {
+			present[d.Name()] = true
+		}
+	}
+	names := make(map[string]bool)
+	for _, a := range lint.All() {
+		names[a.Name] = true
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q must have a name and a doc line", a.Name)
+		}
+		if !present[a.Name] {
+			t.Errorf("analyzer %s has no fixture directory testdata/src/%s", a.Name, a.Name)
+		}
+	}
+	// ignoreaudit is emitted by the runner, not an Analyzer; its fixture
+	// directory documents the audit the same way.
+	names["ignoreaudit"] = true
+	for dir := range present {
+		if !names[dir] {
+			t.Errorf("fixture directory testdata/src/%s matches no registered checker", dir)
+		}
+	}
+	// Every fixture leaf must carry its golden file.
+	err = filepath.WalkDir(filepath.Join("testdata", "src"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".go" {
+			return err
+		}
+		golden := filepath.Join(filepath.Dir(path), "expected.txt")
+		if _, serr := os.Stat(golden); serr != nil {
+			t.Errorf("fixture %s has no golden file %s", path, golden)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

@@ -83,11 +83,15 @@ type Analyzer struct {
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Atomicwrite,
+		Ctxflow,
 		Erraudit,
+		Hotpath,
 		Layering,
 		Maporder,
 		Nilrecorder,
 		Noclock,
+		Shardsafe,
 	}
 }
 
@@ -129,22 +133,57 @@ func checkNames(as []*Analyzer) []string {
 // returns the rest ordered by file, line, and check — a deterministic
 // report for a determinism linter.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	diags, _ := RunAudited(pkgs, analyzers)
+	return diags
+}
+
+// RunAudited is Run plus the ignore audit: the second return value
+// holds one "ignoreaudit" diagnostic per stale //lint:ignore annotation
+// — a suppression whose named check ran on its package and produced no
+// finding at that site. A stale annotation is worse than none: it
+// documents a hazard that no longer exists, and it will silently eat
+// the next real finding that lands on its line. Annotations naming
+// checks outside `analyzers` are left alone (they cannot be judged on
+// this run), so a partial -checks run never mass-reports staleness.
+func RunAudited(pkgs []*Package, analyzers []*Analyzer) (diags, stale []Diagnostic) {
+	selected := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
+		applied := make(map[string]bool, len(analyzers))
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
 				continue
 			}
+			applied[a.Name] = true
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			a.Run(pass)
 			for _, d := range pass.diags {
-				if !ignores.covers(d) {
-					out = append(out, d)
+				if !ignores.cover(d) {
+					diags = append(diags, d)
 				}
 			}
 		}
+		for key, ig := range ignores {
+			if ig.used || !selected[key.check] || !applied[key.check] {
+				continue
+			}
+			stale = append(stale, Diagnostic{
+				Pos:   ig.pos,
+				Check: "ignoreaudit",
+				Message: fmt.Sprintf("stale //lint:ignore %s: the check produced no finding at this site; delete the annotation",
+					key.check),
+			})
+		}
 	}
+	sortDiags(diags)
+	sortDiags(stale)
+	return diags, stale
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -158,7 +197,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
 // ignoreKey locates one suppression: a check name at a file:line.
@@ -168,13 +206,29 @@ type ignoreKey struct {
 	check string
 }
 
-type ignoreSet map[ignoreKey]bool
+// ignoreEntry is one annotation's position plus whether any finding
+// actually needed it this run — the signal the ignore audit keys on.
+type ignoreEntry struct {
+	pos  token.Position
+	used bool
+}
 
-// covers reports whether d is suppressed by an annotation on its own
-// line or the line directly above it.
-func (s ignoreSet) covers(d Diagnostic) bool {
-	return s[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
-		s[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+type ignoreSet map[ignoreKey]*ignoreEntry
+
+// cover reports whether d is suppressed by an annotation on its own
+// line or the line directly above it, marking the matching annotation
+// as earning its keep.
+func (s ignoreSet) cover(d Diagnostic) bool {
+	for _, key := range []ignoreKey{
+		{d.Pos.Filename, d.Pos.Line, d.Check},
+		{d.Pos.Filename, d.Pos.Line - 1, d.Check},
+	} {
+		if e, ok := s[key]; ok {
+			e.used = true
+			return true
+		}
+	}
+	return false
 }
 
 // collectIgnores scans pkg's comments for lint:ignore annotations.
@@ -199,7 +253,7 @@ func collectIgnores(pkg *Package) ignoreSet {
 					continue
 				}
 				for _, check := range strings.Split(fields[0], ",") {
-					out[ignoreKey{pos.Filename, pos.Line, check}] = true
+					out[ignoreKey{pos.Filename, pos.Line, check}] = &ignoreEntry{pos: pos}
 				}
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -192,7 +193,9 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+		// Like Load, shipped code only: fixture dirs may carry test files
+		// of their own without those leaking into the analyzed package.
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

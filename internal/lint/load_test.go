@@ -1,0 +1,140 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// writeTree materializes files (relative path → contents) under a fresh
+// temp directory and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadExcludesTestAndTagGatedFiles pins the loader's "shipped code
+// only" contract: _test.go files and files excluded by build
+// constraints are not analyzed. Both excluded files would fail to
+// type-check if loaded, so their absence is proven, not assumed.
+func TestLoadExcludesTestAndTagGatedFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a.go":   "package a\n\nfunc Shipped() int { return 1 }\n",
+		"a_test.go": "package a\n\n" +
+			"func broken() { callThatDoesNotExist() }\n",
+		"gated.go": "//go:build sometagneverset\n\npackage a\n\n" +
+			"func alsoBroken() { callThatDoesNotExist() }\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (a.go only)", len(pkg.Files))
+	}
+	if got := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename); got != "a.go" {
+		t.Fatalf("loaded %s, want a.go", got)
+	}
+	if pkg.Pkg.Scope().Lookup("Shipped") == nil {
+		t.Error("Shipped not in package scope")
+	}
+}
+
+// TestLoadRecordsStdlibSet checks the Stdlib map the layering analyzer
+// depends on: stdlib deps are marked true, module packages false.
+func TestLoadRecordsStdlibSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	dir := writeTree(t, map[string]string{
+		"go.mod":   "module tmpmod\n\ngo 1.22\n",
+		"a.go":     "package a\n\nimport \"sort\"\n\nfunc S(x []int) { sort.Ints(x) }\n",
+		"b/b.go":   "package b\n\nimport a \"tmpmod\"\n\nfunc B(x []int) { a.S(x) }\n",
+		"doc.go":   "// Package a is the module root.\npackage a\n",
+		"skip.txt": "not a go file\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if !pkg.Stdlib["sort"] {
+			t.Errorf("%s: Stdlib[sort] = false, want true", pkg.ImportPath)
+		}
+		if pkg.Stdlib["tmpmod"] {
+			t.Errorf("%s: Stdlib[tmpmod] = true, want false", pkg.ImportPath)
+		}
+	}
+}
+
+// TestLoadDirSkipsTestFiles pins the fixture loader to the same
+// shipped-code-only contract as Load: a _test.go file sitting in a
+// fixture directory is not part of the analyzed package.
+func TestLoadDirSkipsTestFiles(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"fixture.go": "package fix\n\nfunc F() int { return 1 }\n",
+		"fixture_test.go": "package fix\n\n" +
+			"func broken() { callThatDoesNotExist() }\n",
+	})
+	pkg, err := lint.LoadDir(dir, "fixture/internal/core")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (fixture.go only)", len(pkg.Files))
+	}
+	if pkg.ImportPath != "fixture/internal/core" {
+		t.Fatalf("ImportPath = %q, want the synthetic path", pkg.ImportPath)
+	}
+}
+
+// TestLoadDirResolvesModuleImports checks that fixture packages can
+// import real module packages (resolved through go list export data) —
+// the mechanism the shardsafe fixture relies on to call the real
+// shard.For.
+func TestLoadDirResolvesModuleImports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	pkg, err := lint.LoadDir(
+		filepath.Join("testdata", "src", "shardsafe", "internal", "core"),
+		"fixture/internal/core")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Pkg.Scope().Lookup("ownedWrites") == nil {
+		t.Error("ownedWrites not in package scope")
+	}
+	var sawShard bool
+	for _, imp := range pkg.Pkg.Imports() {
+		if imp.Path() == "repro/internal/shard" {
+			sawShard = true
+		}
+	}
+	if !sawShard {
+		t.Error("fixture did not resolve its repro/internal/shard import")
+	}
+}

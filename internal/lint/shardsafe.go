@@ -1,0 +1,358 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shardsafe enforces the ownership contract that makes the parallel
+// engine deterministic (and data-race free) at every worker count: a
+// closure passed to shard.For / ForShards / ForCtx / ForShardsTimed(/Ctx)
+// may write captured shared state only through an access path indexed by
+// its own range — a value derived from the closure's (shard, lo, hi)
+// parameters — or inside a critical section of a mutex whose declaration
+// carries an explicit //lint:mutex <reason> annotation. The race
+// detector only catches a cross-shard write when the schedule happens to
+// interleave the two shards on the same word; this check catches it on
+// every compile, schedule or no schedule.
+//
+// A write is shard-owned when any variable in its access path derives
+// (through the function's assignment graph) from the shard parameters:
+// `g.Routers[idx].x = v` inside `for idx := lo; idx < hi; idx++`,
+// `r.f = v` for `r := range rs[lo:hi]`, and `perShard[s] = v` all
+// qualify. A captured variable written as a bare identifier has no
+// access path to carry that evidence and is always flagged — every
+// shard would write the same cell. Writes to variables declared inside
+// the closure are always fine — that storage is private to the
+// goroutine.
+var Shardsafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "shard closures must write captured state only via shard-owned indexes or an annotated mutex",
+	Run:  runShardsafe,
+}
+
+func runShardsafe(p *Pass) {
+	mutexes := annotatedMutexes(p)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isShardFor(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok || !isShardBody(p, lit) {
+					continue
+				}
+				checkShardBody(p, lit, mutexes)
+			}
+			return true
+		})
+	}
+}
+
+// isShardFor reports whether call invokes one of internal/shard's
+// fork-join entry points.
+func isShardFor(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || !pathHasSegment(fn.Pkg().Path(), "internal/shard") {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "For")
+}
+
+// isShardBody reports whether lit has the shape of a shard body: every
+// parameter an int — func(lo, hi int) or func(shard, lo, hi int) — as
+// opposed to the timing callback func(shard int, d time.Duration).
+func isShardBody(p *Pass, lit *ast.FuncLit) bool {
+	sig, ok := p.TypeOf(lit).(*types.Signature)
+	if !ok || sig.Params().Len() < 2 {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		b, ok := sig.Params().At(i).Type().Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Int {
+			return false
+		}
+	}
+	return true
+}
+
+// checkShardBody walks one shard closure, tracking annotated-mutex
+// critical sections, and reports every write to captured state that is
+// neither shard-owned nor guarded.
+func checkShardBody(p *Pass, lit *ast.FuncLit, mutexes map[types.Object]bool) {
+	df := newDataflow(p.Pkg.Info, lit)
+	roots := paramObjs(p.Pkg.Info, lit.Type.Params)
+	walkLocked(lit.Body, func(stmt ast.Stmt, locked bool) {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkShardWrite(p, df, lit, roots, lhs, locked, mutexSeen(mutexes))
+			}
+		case *ast.IncDecStmt:
+			checkShardWrite(p, df, lit, roots, s.X, locked, mutexSeen(mutexes))
+		case *ast.ExprStmt:
+			// The mutating builtins write through their first argument.
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && builtinWrites[id.Name] && len(call.Args) > 0 {
+					checkShardWrite(p, df, lit, roots, call.Args[0], locked, mutexSeen(mutexes))
+				}
+			}
+		}
+	}, func(stmt ast.Stmt) int {
+		return lockDelta(p, stmt, mutexes)
+	})
+}
+
+var builtinWrites = map[string]bool{"delete": true, "clear": true, "copy": true}
+
+func mutexSeen(mutexes map[types.Object]bool) bool { return len(mutexes) > 0 }
+
+// checkShardWrite reports lhs when it writes captured state without
+// shard-derived evidence and outside any annotated-mutex section.
+func checkShardWrite(p *Pass, df *dataflow, lit *ast.FuncLit, roots map[types.Object]bool, lhs ast.Expr, locked, haveMutex bool) {
+	if locked {
+		return
+	}
+	root := rootIdent(lhs)
+	obj := df.objOf(root)
+	if obj == nil {
+		return // blank identifier, or a path rooted in a call result
+	}
+	local := declaredWithin(obj, lit)
+	plain := root == ast.Unparen(lhs)
+	// Assigning a plain local identifier rebinds a closure-private cell;
+	// only writes *through* a local alias (x.f, x[i], *x) can reach
+	// captured state.
+	if local && plain {
+		return
+	}
+	// Shard-derived evidence anywhere in the access path (the index, the
+	// slice, the alias the path was built from) proves ownership. A bare
+	// captured identifier has no access path — every shard would write
+	// the same cell — so for it no derivation counts as evidence (the
+	// assignment graph would launder `total += vals[i]` through the
+	// shard-derived index i).
+	if !plain && df.exprDerives(lhs, roots) {
+		return
+	}
+	if local && !df.derivesCaptured(obj, lit) {
+		return // closure-private storage
+	}
+	what := "captured " + exprString(lhs)
+	if local {
+		what = exprString(lhs) + " (an alias of captured state)"
+	}
+	hint := "index it by a value derived from the shard's (shard, lo, hi) parameters, guard it with a //lint:mutex-annotated mutex, or annotate //lint:ignore shardsafe <reason>"
+	if haveMutex {
+		hint = "index it by a value derived from the shard's (shard, lo, hi) parameters, move it inside the annotated mutex's Lock/Unlock section, or annotate //lint:ignore shardsafe <reason>"
+	}
+	p.Reportf(lhs.Pos(), "shard body writes %s without shard-owned indexing; %s", what, hint)
+}
+
+// derivesCaptured reports whether obj's value chain reaches a variable
+// declared outside lit: a closure-local alias of shared state still
+// writes shared state.
+func (df *dataflow) derivesCaptured(obj types.Object, lit *ast.FuncLit) bool {
+	seen := make(map[types.Object]bool)
+	var walk func(o types.Object) bool
+	walk = func(o types.Object) bool {
+		if seen[o] {
+			return false
+		}
+		seen[o] = true
+		if !declaredWithin(o, lit) {
+			return true
+		}
+		for src := range df.sources[o] {
+			if walk(src) {
+				return true
+			}
+		}
+		return false
+	}
+	for src := range df.sources[obj] {
+		if walk(src) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkLocked visits every statement under body in source order, calling
+// visit with whether the statement sits inside an annotated-mutex
+// critical section. delta classifies a statement: +1 for Lock on an
+// annotated mutex, -1 for Unlock, 0 otherwise; a deferred Unlock keeps
+// the section open to the end of the enclosing block.
+func walkLocked(body *ast.BlockStmt, visit func(ast.Stmt, bool), delta func(ast.Stmt) int) {
+	var walkBlock func(stmts []ast.Stmt, locked bool)
+	walkStmt := func(s ast.Stmt, locked bool) {
+		visit(s, locked)
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkBlock(s.List, locked)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				visit(s.Init, locked)
+			}
+			walkBlock(s.Body.List, locked)
+			if s.Else != nil {
+				walkBlock([]ast.Stmt{s.Else}, locked)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				visit(s.Init, locked)
+			}
+			if s.Post != nil {
+				visit(s.Post, locked)
+			}
+			walkBlock(s.Body.List, locked)
+		case *ast.RangeStmt:
+			walkBlock(s.Body.List, locked)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				visit(s.Init, locked)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBlock(cc.Body, locked)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBlock(cc.Body, locked)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkBlock(cc.Body, locked)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmtRef(s.Stmt, locked, visit, walkBlock)
+		}
+	}
+	walkBlock = func(stmts []ast.Stmt, locked bool) {
+		inherited := locked
+		for _, s := range stmts {
+			switch d := deltaOf(s, delta); {
+			case d > 0:
+				locked = true
+			case d < 0:
+				locked = inherited
+			default:
+				walkStmt(s, locked)
+			}
+		}
+	}
+	walkBlock(body.List, false)
+}
+
+// walkStmtRef mirrors walkStmt for labeled statements without
+// duplicating the dispatch (labels wrap loops in practice).
+func walkStmtRef(s ast.Stmt, locked bool, visit func(ast.Stmt, bool), walkBlock func([]ast.Stmt, bool)) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		walkBlock(s.Body.List, locked)
+	case *ast.RangeStmt:
+		walkBlock(s.Body.List, locked)
+	default:
+		visit(s, locked)
+	}
+}
+
+// deltaOf classifies s for critical-section tracking, treating
+// `defer mu.Unlock()` as keeping the section open (+0 after a Lock).
+func deltaOf(s ast.Stmt, delta func(ast.Stmt) int) int {
+	if d, ok := s.(*ast.DeferStmt); ok {
+		if delta(&ast.ExprStmt{X: d.Call}) < 0 {
+			return 0 // deferred unlock: section stays open to block end
+		}
+		return 0
+	}
+	return delta(s)
+}
+
+// lockDelta classifies stmt as entering (+1) or leaving (-1) a critical
+// section of an annotated mutex.
+func lockDelta(p *Pass, stmt ast.Stmt, mutexes map[types.Object]bool) int {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return 0
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+		return 0
+	}
+	obj := p.Pkg.Info.Uses[rootIdentOrSel(sel.X)]
+	if obj == nil || !mutexes[obj] {
+		return 0
+	}
+	if name == "Lock" || name == "RLock" {
+		return 1
+	}
+	return -1
+}
+
+// rootIdentOrSel resolves the receiver expression of a Lock/Unlock call
+// to the identifier naming the mutex (mu, s.mu, …).
+func rootIdentOrSel(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.StarExpr:
+		return rootIdentOrSel(e.X)
+	}
+	return nil
+}
+
+// annotatedMutexes collects the sync.Mutex / sync.RWMutex variables and
+// fields whose declaration line (or the line above) carries a
+// //lint:mutex <reason> annotation — the explicit opt-in shardsafe
+// requires before it trusts a critical section.
+func annotatedMutexes(p *Pass) map[types.Object]bool {
+	lines := directiveLines(p.Pkg, "mutex")
+	out := make(map[types.Object]bool)
+	for id, obj := range p.Pkg.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || !isMutexType(v.Type()) {
+			continue
+		}
+		pos := p.Pkg.Fset.Position(id.Pos())
+		if m := lines[pos.Filename]; m != nil {
+			if _, ok := m[pos.Line]; ok {
+				out[obj] = true
+				continue
+			}
+			if _, ok := m[pos.Line-1]; ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}

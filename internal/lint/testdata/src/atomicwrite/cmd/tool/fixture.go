@@ -1,0 +1,29 @@
+// Package main is an atomicwrite fixture: raw publishing primitives
+// outside internal/ckpt, with exempt and suppressed cases.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+)
+
+func main() {
+	f, _ := os.Create("out.txt")          // flagged: torn-file publish
+	_ = os.WriteFile("x.txt", nil, 0o644) // flagged: torn-file publish
+	_ = os.Rename("a", "b")               // flagged: rename without the fsync protocol
+
+	w := bufio.NewWriter(f) // flagged: buffers bytes a crash can drop
+	_ = w.Flush()
+
+	t, _ := os.CreateTemp("", "scratch") // clean: temp files are the protocol's ingredient
+	_ = t.Close()
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf) // clean: not an *os.File sink
+	_ = bw.Flush()
+
+	//lint:ignore atomicwrite fixture: debug dump, torn output is acceptable
+	g, _ := os.Create("debug.txt") // suppressed
+	_ = g.Close()
+}

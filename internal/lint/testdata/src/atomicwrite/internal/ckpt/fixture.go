@@ -1,0 +1,15 @@
+// Package ckpt is the atomicwrite out-of-scope fixture: the protocol
+// implementation itself must use the raw primitives it bans elsewhere.
+package ckpt
+
+import "os"
+
+// Publish is the temp-write-rename shape the real package implements;
+// no findings here because the check does not apply to internal/ckpt.
+func Publish(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,79 @@
+// Package core is a ctxflow fixture: context threading, dropped-ctx
+// siblings, fresh contexts in the engine, and the explicit opt-outs.
+package core
+
+import "context"
+
+type server struct{ ctx context.Context }
+
+func process(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// batch and batchCtx form a sibling pair: calling batch with a ctx in
+// scope drops it.
+func batch(n int) { _ = n }
+
+func batchCtx(ctx context.Context, n int) {
+	if ctx.Err() != nil {
+		return
+	}
+	_ = n
+}
+
+// threads passes its ctx straight through: clean.
+func threads(ctx context.Context) error {
+	return process(ctx, 1)
+}
+
+// derived passes a context built from its ctx: clean.
+func derived(ctx context.Context) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return process(cctx, 1)
+}
+
+// detaches mints a fresh Background with a ctx in scope: flagged (and
+// the Background call itself is banned in the engine).
+func detaches(ctx context.Context) error {
+	_ = ctx.Err()
+	return process(context.Background(), 1)
+}
+
+// unrelated passes a stored context instead of its own: flagged.
+func unrelated(ctx context.Context, s *server) error {
+	_ = ctx.Err()
+	return process(s.ctx, 1)
+}
+
+// drops calls the non-ctx sibling while holding a ctx: flagged.
+func drops(ctx context.Context) {
+	batch(1)
+	batchCtx(ctx, 2)
+}
+
+// ignores accepts a context it never reads: flagged.
+func ignores(ctx context.Context) int {
+	return 42
+}
+
+// optedOut discards its context visibly with the blank name: clean.
+func optedOut(_ context.Context) int {
+	return 42
+}
+
+// boot has no ctx parameter, so only the engine-wide Background ban
+// fires: flagged once.
+func boot() error {
+	return process(context.Background(), 1)
+}
+
+// bootQuiet is the same shape with an explanatory annotation: clean.
+func bootQuiet() error {
+	//lint:ignore ctxflow fixture: documented no-cancellation entry point
+	return process(context.Background(), 1)
+}

@@ -1,0 +1,19 @@
+// Package otherpkg is the ctxflow out-of-scope fixture: outside
+// internal/core, internal/shard, and the module root, frontends may
+// mint their own contexts and the check stays silent.
+package otherpkg
+
+import "context"
+
+func run(n int) error {
+	ctx := context.Background() // clean here: frontends own their root context
+	return work(ctx, n)
+}
+
+func work(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}

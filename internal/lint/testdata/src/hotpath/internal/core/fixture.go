@@ -1,0 +1,82 @@
+// Package core is a hotpath fixture: allocating constructs inside
+// marked functions, scratch-reuse patterns that stay clean, and the
+// cold-path suppression.
+package core
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+// alloc piles up every banned construct: map/slice literals, make,
+// append into fresh storage, and a fmt call.
+//
+//lint:hotpath
+func alloc(n int) []int {
+	out := []int{}             // flagged: slice literal
+	seen := make(map[int]bool) // flagged: make
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i) // flagged: grows locally-allocated storage
+		}
+	}
+	fmt.Println(len(out)) // flagged: fmt boxes its operands
+	return out
+}
+
+// concat builds a string with += in a loop: flagged.
+//
+//lint:hotpath
+func concat(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+// escapes returns a closure over local state: flagged.
+//
+//lint:hotpath
+func escapes(vals []int) func() int {
+	total := 0
+	return func() int {
+		for _, v := range vals {
+			total += v
+		}
+		return total
+	}
+}
+
+// reuses appends into caller-owned scratch: clean (amortized-free).
+//
+//lint:hotpath
+func reuses(sc *scratch, vals []int) []int {
+	out := sc.buf[:0]
+	for _, v := range vals {
+		out = append(out, v*2)
+	}
+	sc.buf = out
+	return out
+}
+
+// grow is a provably cold arm inside a marked function: suppressed.
+//
+//lint:hotpath
+func grow(sc *scratch, n int) {
+	if cap(sc.buf) < n {
+		//lint:ignore hotpath fixture: once-per-run grow path, never inside the loop
+		sc.buf = make([]int, 0, n)
+	}
+}
+
+// cold is unmarked: allocations are none of hotpath's business.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

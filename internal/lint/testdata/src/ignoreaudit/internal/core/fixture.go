@@ -1,0 +1,29 @@
+// Package core is an ignoreaudit fixture: one //lint:ignore that still
+// earns its keep and one gone stale — the code under it was fixed (the
+// collect-then-sort idiom is recognized automatically) but the
+// annotation lingered, ready to eat the next real finding.
+package core
+
+import "sort"
+
+// LeakedKeys really does leak map order; its annotation is used.
+func LeakedKeys(m map[string]int) []string {
+	var keys []string
+	//lint:ignore maporder fixture: caller sorts the result
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys was fixed to collect-then-sort; the leftover annotation is
+// stale and flagged by the ignore audit.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore maporder fixture: caller sorts the result
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

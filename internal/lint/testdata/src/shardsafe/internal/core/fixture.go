@@ -1,0 +1,102 @@
+// Package core is a shardsafe fixture: shard-closure writes to captured
+// state, with owned, guarded, suppressed, and flagged cases.
+package core
+
+import (
+	"sync"
+
+	"repro/internal/shard"
+)
+
+type graph struct {
+	vals  []int
+	dirty map[int]bool
+}
+
+// ownedWrites indexes captured state by the shard's own range: clean.
+func ownedWrites(g *graph, workers int) {
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.vals[i] *= 2
+		}
+	})
+}
+
+// perShardSlots accumulates into a slot indexed by the shard id: clean.
+func perShardSlots(g *graph, workers int) []int {
+	sums := make([]int, shard.Resolve(workers))
+	shard.ForShards(len(g.vals), workers, func(s, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sums[s] += g.vals[i]
+		}
+	})
+	return sums
+}
+
+// racyCounter bumps a captured accumulator from every shard: flagged.
+func racyCounter(g *graph, workers int) int {
+	total := 0
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += g.vals[i]
+		}
+	})
+	return total
+}
+
+// racyDelete mutates a captured map through a builtin: flagged (the
+// shard-owned key does not make the shared map safe to write).
+func racyDelete(g *graph, workers int) {
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		delete(g.dirty, lo)
+	})
+}
+
+// unannotatedMutex locks a mutex that carries no //lint:mutex
+// annotation: still flagged — the annotation is the reviewed contract.
+func unannotatedMutex(g *graph, workers int) int {
+	total := 0
+	var mu sync.Mutex
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+	})
+	return total
+}
+
+// lockedMerge merges per-shard partials under an annotated mutex: clean.
+func lockedMerge(g *graph, workers int) int {
+	total := 0
+	//lint:mutex fixture: merges per-shard partial sums at shard end
+	var mu sync.Mutex
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		sum := 0
+		for i := lo; i < hi; i++ {
+			sum += g.vals[i]
+		}
+		mu.Lock()
+		total += sum
+		mu.Unlock()
+	})
+	return total
+}
+
+// localAlias writes captured state through a closure-local alias:
+// flagged (the alias does not launder the capture).
+func localAlias(g *graph, workers int) {
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		vs := g.vals
+		vs[0] = 1
+	})
+}
+
+// suppressed carries an explanatory annotation: not flagged.
+func suppressed(g *graph, workers int) {
+	done := false
+	shard.For(len(g.vals), workers, func(lo, hi int) {
+		//lint:ignore shardsafe fixture: every shard writes the same value, and the flag is read only after the barrier
+		done = true
+	})
+	_ = done
+}

@@ -88,6 +88,7 @@ func ForCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) bool {
 	if ctx.Err() != nil {
 		return false
 	}
+	//lint:ignore ctxflow ForCtx IS the batch-boundary adapter: ctx was just observed above, and the batch deliberately runs to completion uncancelled
 	For(n, workers, fn)
 	return true
 }
@@ -98,6 +99,7 @@ func ForShardsTimedCtx(ctx context.Context, n, workers int, fn func(shard, lo, h
 	if ctx.Err() != nil {
 		return false
 	}
+	//lint:ignore ctxflow same batch-boundary adapter contract as ForCtx: cancellation was observed above, the batch runs whole
 	ForShardsTimed(n, workers, fn, timing)
 	return true
 }

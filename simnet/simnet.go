@@ -15,6 +15,7 @@ package simnet
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/asrel"
 	"repro/internal/bgp"
+	"repro/internal/ckpt"
 	"repro/internal/collect"
 	"repro/internal/eval"
 	"repro/internal/mrt"
@@ -175,7 +177,7 @@ func (n *Network) WriteDataset(dir string) (*DatasetPaths, error) {
 		Aliases:       filepath.Join(dir, "nodes.txt"),
 		GroundTruth:   filepath.Join(dir, "groundtruth.txt"),
 	}
-	if err := writeFile(p.Traceroutes, func(f *os.File) error {
+	if err := writeFile(p.Traceroutes, func(f io.Writer) error {
 		w := traceroute.NewJSONLWriter(f)
 		for _, t := range n.ds.Traces {
 			if err := w.Write(t); err != nil {
@@ -186,43 +188,43 @@ func (n *Network) WriteDataset(dir string) (*DatasetPaths, error) {
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.RIB, func(f *os.File) error {
+	if err := writeFile(p.RIB, func(f io.Writer) error {
 		return bgp.WriteRoutes(f, n.in.Routes)
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.RIBMRT, func(f *os.File) error {
+	if err := writeFile(p.RIBMRT, func(f io.Writer) error {
 		return mrt.Write(f, n.in.Routes)
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.Prefix2AS, func(f *os.File) error {
+	if err := writeFile(p.Prefix2AS, func(f io.Writer) error {
 		return pfx2as.Write(f, pfx2as.FromRoutes(n.in.Routes))
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.Delegations, func(f *os.File) error {
+	if err := writeFile(p.Delegations, func(f io.Writer) error {
 		return rir.WriteRecords(f, "simrir", n.in.RIRRecords())
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.IXPPrefixes, func(f *os.File) error {
+	if err := writeFile(p.IXPPrefixes, func(f io.Writer) error {
 		return n.in.IXPPrefixes.WriteList(f)
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.Relationships, func(f *os.File) error {
+	if err := writeFile(p.Relationships, func(f io.Writer) error {
 		rels := asrel.Infer(n.in.ASPaths())
 		return rels.Write(f)
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.Aliases, func(f *os.File) error {
+	if err := writeFile(p.Aliases, func(f io.Writer) error {
 		return n.ds.Aliases.WriteNodes(f)
 	}); err != nil {
 		return nil, err
 	}
-	if err := writeFile(p.GroundTruth, func(f *os.File) error {
+	if err := writeFile(p.GroundTruth, func(f io.Writer) error {
 		for _, addr := range n.in.ObservedAddrs() {
 			if _, err := fmt.Fprintf(f, "%s %d\n", addr, uint32(n.in.OwnerASN(addr))); err != nil {
 				return err
@@ -235,17 +237,9 @@ func (n *Network) WriteDataset(dir string) (*DatasetPaths, error) {
 	return p, nil
 }
 
-func writeFile(path string, fill func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("simnet: %w", err)
-	}
-	if err := fill(f); err != nil {
-		f.Close()
+func writeFile(path string, fill func(io.Writer) error) error {
+	if err := ckpt.AtomicWrite(path, fill); err != nil {
 		return fmt.Errorf("simnet: writing %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("simnet: %w", err)
 	}
 	return nil
 }

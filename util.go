@@ -2,10 +2,12 @@ package bdrmapit
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/traceroute"
 )
 
@@ -19,40 +21,37 @@ func FilterTracesByVP(inPath, outPath string, keep func(vp string) bool) (kept i
 		return 0, fmt.Errorf("bdrmapit: %w", err)
 	}
 	defer in.Close()
-	out, err := os.Create(outPath)
-	if err != nil {
-		return 0, fmt.Errorf("bdrmapit: %w", err)
-	}
 
-	binaryOut := strings.EqualFold(filepath.Ext(outPath), ".bin")
-	var write func(*traceroute.Trace) error
-	var flush func() error
-	if binaryOut {
-		w := traceroute.NewBinaryWriter(out)
-		write, flush = w.Write, w.Flush
-	} else {
-		w := traceroute.NewJSONLWriter(out)
-		write, flush = w.Write, w.Flush
-	}
-	visit := func(t *traceroute.Trace) error {
-		if keep(t.VP) {
-			kept++
-			return write(t)
+	err = ckpt.AtomicWrite(outPath, func(out io.Writer) error {
+		var write func(*traceroute.Trace) error
+		var flush func() error
+		if strings.EqualFold(filepath.Ext(outPath), ".bin") {
+			w := traceroute.NewBinaryWriter(out)
+			write, flush = w.Write, w.Flush
+		} else {
+			w := traceroute.NewJSONLWriter(out)
+			write, flush = w.Write, w.Flush
 		}
-		return nil
-	}
-	if strings.EqualFold(filepath.Ext(inPath), ".bin") {
-		err = traceroute.ReadBinary(in, visit)
-	} else {
-		err = traceroute.ReadJSONL(in, visit)
-	}
+		visit := func(t *traceroute.Trace) error {
+			if keep(t.VP) {
+				kept++
+				return write(t)
+			}
+			return nil
+		}
+		var rerr error
+		if strings.EqualFold(filepath.Ext(inPath), ".bin") {
+			rerr = traceroute.ReadBinary(in, visit)
+		} else {
+			rerr = traceroute.ReadJSONL(in, visit)
+		}
+		if rerr != nil {
+			return rerr
+		}
+		return flush()
+	})
 	if err != nil {
-		out.Close()
 		return kept, fmt.Errorf("bdrmapit: filter: %w", err)
 	}
-	if err := flush(); err != nil {
-		out.Close()
-		return kept, fmt.Errorf("bdrmapit: filter: %w", err)
-	}
-	return kept, out.Close()
+	return kept, nil
 }
