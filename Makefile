@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-static lint-baseline build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke explain-smoke profile profile-micro
+.PHONY: ci vet lint lint-static lint-baseline build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke explain-smoke serve-smoke profile profile-micro
 
 ci: vet lint lint-static build test race
 
@@ -101,6 +101,7 @@ fuzz-smoke:
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 
 # Decision-provenance smoke: run the quickstart topology with
 # -provenance on, check the prov.* aggregates reached the run report,
@@ -125,6 +126,15 @@ explain-smoke:
 		$$(head -1 $(EXPLAIN_DIR)/annotations.txt | cut -d' ' -f1)
 	$(GO) run ./cmd/explain -diff -fail-on-drift \
 		$(EXPLAIN_DIR)/run.prov $(EXPLAIN_DIR)/run.prov
+
+# Serving-daemon smoke: infer two snapshots over simnet, boot the real
+# bdrmapitd binary, byte-equality-sweep every annotation line through
+# /v1/lookup, hot-swap via SIGHUP under sustained verified load (zero
+# failed or cross-generation-inconsistent responses allowed), refuse a
+# corrupt reload, drain cleanly on SIGTERM — plus the overload variant
+# proving shed-not-fail under admission pressure.
+serve-smoke:
+	$(GO) test ./cmd/bdrmapitd -run '^TestServeSmoke$$|^TestOverloadSheds$$' -count=1 -v
 
 # Crash-injection matrix: SIGKILL the real CLI at seeded checkpoint and
 # output-rename points, resume from the snapshot at a different worker

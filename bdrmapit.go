@@ -181,6 +181,10 @@ type Link struct {
 // Result holds the annotations of a completed run.
 type Result struct {
 	res *core.Result
+	// resolver is the run's layered ip2as view, retained so serializers
+	// (WriteServeSnapshot) can export the prefix tables that produced
+	// the annotations.
+	resolver *ip2as.Resolver
 	// Iterations is the number of refinement iterations executed.
 	Iterations int
 	// Converged reports whether the refinement loop reached a repeated
@@ -414,6 +418,7 @@ func RunContext(ctx context.Context, src Sources, opts Options) (*Result, error)
 	}
 	return &Result{
 		res:         res,
+		resolver:    resolver,
 		Iterations:  res.Iterations,
 		Converged:   res.Converged,
 		Interrupted: res.Interrupted,

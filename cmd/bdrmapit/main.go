@@ -24,7 +24,7 @@
 // input loading aborts at a file boundary, while a run that already
 // reached refinement stops at the next iteration boundary and still
 // writes its outputs, marked with a "# PARTIAL" footer. A second signal
-// kills the process immediately. -strict turns every degraded input
+// force-exits immediately with status 130. -strict turns every degraded input
 // source into a hard error; -max-bad-inputs N tolerates up to N
 // unreadable required files (traceroutes, RIBs) before aborting.
 //
@@ -45,6 +45,11 @@
 // themselves. Query it with the explain command: "explain OUT IP"
 // prints one router's decision chain, "explain -diff OLD NEW" reports
 // annotation drift between two runs grouped by flipped heuristic.
+//
+// Serving: -serve-snapshot OUT writes the completed inference as a
+// validated serving snapshot — the artifact cmd/bdrmapitd loads and
+// hot-swaps to answer annotation lookups over HTTP. Interrupted runs
+// skip it: a daemon cannot mark partial answers.
 package main
 
 import (
@@ -59,11 +64,18 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	bdrmapit "repro"
 	"repro/internal/ckpt"
 	"repro/internal/obs"
 )
+
+// forcedExitStatus is the exit code of a second-signal force exit:
+// 128+SIGINT, the conventional "killed by ^C" status, distinct from
+// both success and log.Fatal's 1 so a supervisor can tell a forced
+// kill from a graceful drain or an ordinary failure.
+const forcedExitStatus = 130
 
 func split(s string) []string {
 	if s == "" {
@@ -98,6 +110,7 @@ func main() {
 		ckptEvry = flag.Int("checkpoint-every", 0, "snapshot every N committed iterations (default 1: every iteration; the final iteration is always snapshotted)")
 		resume   = flag.Bool("resume", false, "restore the newest snapshot in -checkpoint-dir and continue the run from there")
 		provOut  = flag.String("provenance", "", "collect per-router decision provenance and write the artifact to this file (query with cmd/explain)")
+		srvOut   = flag.String("serve-snapshot", "", "write a serving snapshot to this file for bdrmapitd to load or hot-swap")
 	)
 	flag.Parse()
 	if *traces == "" {
@@ -118,7 +131,7 @@ func main() {
 			}
 		}
 	}
-	for _, out := range []string{*annOut, *lnkOut, *repJSON, *provOut} {
+	for _, out := range []string{*annOut, *lnkOut, *repJSON, *provOut, *srvOut} {
 		if out != "" && out != "-" {
 			if err := ensureWritableDir(filepath.Dir(out)); err != nil {
 				log.Fatal(err)
@@ -137,15 +150,39 @@ func main() {
 			}
 		}
 	}
+	// Stall seam for the signal tests: announce and hold at the named
+	// point so a test can deliver signals at a deterministic instant
+	// instead of racing a sub-second run. The hold is bounded so a
+	// test that dies without signalling leaves no immortal process.
+	if point := os.Getenv("BDRMAPIT_STALL_AT"); point != "" {
+		ckpt.TestHook = func(p string) {
+			if p == point {
+				fmt.Fprintf(os.Stderr, "bdrmapit: test stall at %s\n", p)
+				time.Sleep(time.Minute)
+			}
+		}
+	}
 
-	// First SIGINT/SIGTERM cancels the run gracefully; stop() restores
-	// default delivery once that fires, so a second signal kills the
-	// process outright.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// First SIGINT/SIGTERM cancels the run gracefully; a second one
+	// force-exits with a distinct status. An explicit handler rather
+	// than signal.NotifyContext + re-raise: restoring default delivery
+	// after the first signal leaves a window where a second signal
+	// arriving mid-rollback (or during the checkpoint drain) is
+	// swallowed, so whether ^C^C actually killed the process was a
+	// race. Here the second signal always takes the os.Exit path, and
+	// the exit status tells a supervisor the process was forced, not
+	// gracefully drained.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-ctx.Done()
-		stop()
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "bdrmapit: %v: cancelling run (signal again to force exit)\n", s)
+		cancel()
+		s = <-sigc
+		fmt.Fprintf(os.Stderr, "bdrmapit: %v: forced exit\n", s)
+		os.Exit(forcedExitStatus)
 	}()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -231,6 +268,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("provenance written to", *provOut)
+	}
+	if *srvOut != "" {
+		if res.Interrupted {
+			// A daemon must never serve a partial map as authoritative;
+			// the other outputs carry their PARTIAL markers, this one is
+			// simply not produced.
+			fmt.Fprintln(os.Stderr, "bdrmapit: skipping -serve-snapshot: run was interrupted and a daemon cannot mark partial answers")
+		} else {
+			if err := res.WriteServeSnapshot(*srvOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("serve snapshot written to", *srvOut)
+		}
 	}
 
 	if !*quiet {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"syscall"
 	"testing"
+	"time"
 
 	"repro/simnet"
 )
@@ -221,6 +223,80 @@ func TestCrashResume(t *testing.T) {
 				})
 			}
 		})
+	}
+}
+
+// TestSecondSignalForcesExit proves the two-stage interrupt contract:
+// the first SIGINT cancels gracefully, and a second one — whenever it
+// lands, including mid-drain — always force-exits with the distinct
+// status 130, so ^C^C is deterministic rather than a race against
+// signal-disposition restoration.
+func TestSecondSignalForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess signal test is not a -short test")
+	}
+	srcArgs := crashDataset(t)
+	outDir := t.TempDir()
+	cmd := exec.Command(os.Args[0], append(srcArgs,
+		"-workers", "1",
+		"-checkpoint-dir", filepath.Join(outDir, "ckpt"),
+		"-annotations", filepath.Join(outDir, "annotations.txt"),
+	)...)
+	// The stall seam parks the run at the first committed checkpoint —
+	// a full Small inference finishes in well under a second, so
+	// without a deterministic hold the signals would race run
+	// completion.
+	cmd.Env = append(os.Environ(),
+		"BDRMAPIT_TEST_BE_BINARY=1",
+		"BDRMAPIT_STALL_AT=checkpoint:1",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Stage the signals off the CLI's own stderr announcements: first
+	// SIGINT once the run is provably stalled mid-refinement, second
+	// SIGINT once the graceful cancellation is provably in progress.
+	sawCancel := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "test stall at") {
+				if err := cmd.Process.Signal(os.Interrupt); err != nil {
+					t.Errorf("first signal: %v", err)
+				}
+			}
+			if strings.Contains(line, "signal again to force exit") {
+				sawCancel = true
+				if err := cmd.Process.Signal(os.Interrupt); err != nil {
+					t.Errorf("second signal: %v", err)
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("CLI never reached the stall point")
+	}
+	if !sawCancel {
+		t.Fatal("CLI exited without printing the graceful-cancel message")
+	}
+	err = cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("process did not exit with an error status: %v", err)
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Errorf("forced exit status = %d, want 130", code)
 	}
 }
 

@@ -26,7 +26,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"io/fs"
 	"os"
@@ -167,32 +166,13 @@ type FormatError struct {
 
 func (e *FormatError) Error() string { return "ckpt: invalid checkpoint: " + e.Reason }
 
-// Encode writes st to w in the checkpoint format:
-//
-//	magic[8] version[1] payloadLen[u32le] payload crc32[u32le]
-//
-// where the CRC (IEEE) covers everything before it. The payload is a
-// fixed field sequence of little-endian words and (zigzag) varints;
+// Encode writes st to w in the checkpoint format: the shared artifact
+// envelope (WriteFrame: magic, version, length prefix, trailing CRC)
+// around a payload of little-endian words and (zigzag) varints;
 // map-valued rows serialize with sorted keys, so encoding is a pure
 // function of st and re-encoding a decoded state is byte-identical.
 func Encode(w io.Writer, st *State) error {
-	p := appendPayload(nil, st)
-	head := make([]byte, 0, len(magic)+1+4)
-	head = append(head, magic...)
-	head = append(head, Version)
-	head = binary.LittleEndian.AppendUint32(head, uint32(len(p)))
-	crc := crc32.ChecksumIEEE(head)
-	crc = crc32.Update(crc, crc32.IEEETable, p)
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	if _, err := w.Write(p); err != nil {
-		return err
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc)
-	_, err := w.Write(tail[:])
-	return err
+	return WriteFrame(w, magic, Version, appendPayload(nil, st))
 }
 
 func appendPayload(p []byte, st *State) []byte {
@@ -253,26 +233,15 @@ func Decode(r io.Reader) (*State, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: reading checkpoint: %w", err)
 	}
-	headLen := len(magic) + 1 + 4
-	if len(data) < headLen+4 {
-		return nil, &FormatError{Reason: fmt.Sprintf("file too short (%d bytes)", len(data))}
+	payload, err := ReadFrame(data, magic, Version, "bdrmapIT checkpoint")
+	if err != nil {
+		var fe *FrameError
+		if errors.As(err, &fe) {
+			return nil, &FormatError{Reason: fe.Reason}
+		}
+		return nil, err
 	}
-	if string(data[:len(magic)]) != magic {
-		return nil, &FormatError{Reason: "bad magic (not a bdrmapIT checkpoint)"}
-	}
-	if v := data[len(magic)]; v != Version {
-		return nil, &FormatError{Reason: fmt.Sprintf("unsupported format version %d (this build reads version %d)", v, Version)}
-	}
-	plen := binary.LittleEndian.Uint32(data[len(magic)+1:])
-	if uint64(len(data)) != uint64(headLen)+uint64(plen)+4 {
-		return nil, &FormatError{Reason: fmt.Sprintf("length mismatch: header declares %d payload bytes, file holds %d", plen, len(data)-headLen-4)}
-	}
-	body := data[:len(data)-4]
-	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if got := crc32.ChecksumIEEE(body); got != wantCRC {
-		return nil, &FormatError{Reason: fmt.Sprintf("checksum mismatch (stored %#x, computed %#x)", wantCRC, got)}
-	}
-	d := &decoder{b: data[headLen : len(data)-4]}
+	d := &decoder{b: payload}
 	st := &State{
 		OptionsFP:   d.u64(),
 		InputDigest: d.u64(),

@@ -88,6 +88,10 @@ func TestLayeringExplainFixture(t *testing.T) {
 	checkFixture(t, "layering", "layering/cmd/explain", "fixture/cmd/explain")
 }
 
+func TestLayeringServeFixture(t *testing.T) {
+	checkFixture(t, "layering", "layering/internal/serve", "fixture/internal/serve")
+}
+
 func TestNilrecorderProvFixture(t *testing.T) {
 	checkFixture(t, "nilrecorder", "nilrecorder/internal/prov", "fixture/internal/prov")
 }

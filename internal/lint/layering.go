@@ -36,10 +36,14 @@ var loaderSegments = append([]string{
 //   - cmd/explain answers queries from a serialized artifact alone, so
 //     it must not import internal/core or any loader: if it did, an
 //     explanation could silently come from re-inference instead of the
-//     recorded run.
+//     recorded run;
+//   - internal/serve (the daemon's snapshot/serving layer) answers
+//     every query from the serialized snapshot, so like cmd/explain it
+//     must not import internal/core or any loader — otherwise a "hot
+//     swap" could quietly become a re-inference with different answers.
 var Layering = &Analyzer{
 	Name: "layering",
-	Doc:  "import-DAG rules: core imports no frontends/loaders; obs and shard stay stdlib-only; prov stays engine-free; explain reads artifacts only",
+	Doc:  "import-DAG rules: core imports no frontends/loaders; obs and shard stay stdlib-only; prov stays engine-free; explain and serve read artifacts only",
 	Run:  runLayering,
 }
 
@@ -54,7 +58,8 @@ func runLayering(p *Pass) {
 	stdlibOnly := anySegment(path, "internal/obs", "internal/shard")
 	provRules := pathHasSegment(path, "internal/prov")
 	explainRules := pathHasSegment(path, "cmd/explain")
-	if !coreRules && !stdlibOnly && !provRules && !explainRules {
+	serveRules := pathHasSegment(path, "internal/serve")
+	if !coreRules && !stdlibOnly && !provRules && !explainRules && !serveRules {
 		return
 	}
 	for _, f := range p.Pkg.Files {
@@ -74,6 +79,8 @@ func runLayering(p *Pass) {
 				report(p, spec, "internal/prov may import only the stdlib, internal/asn, and internal/ckpt, not %s: offline tooling reads artifacts without the engine", imp)
 			case explainRules && (pathHasSegment(imp, "internal/core") || anySegment(imp, loaderSegments...)):
 				report(p, spec, "cmd/explain must not import %s: explanations come from the recorded artifact, never from re-inference", imp)
+			case serveRules && (pathHasSegment(imp, "internal/core") || anySegment(imp, loaderSegments...)):
+				report(p, spec, "internal/serve must not import %s: the daemon serves the snapshot it was handed, never a re-inference", imp)
 			}
 		}
 	}

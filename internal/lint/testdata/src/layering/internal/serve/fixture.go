@@ -1,0 +1,14 @@
+// Package serve is a layering fixture for the daemon's serving layer:
+// it answers every query from the serialized snapshot it was handed, so
+// the engine and every loader are off-limits — a hot swap must never
+// quietly become a re-inference.
+package serve
+
+import (
+	_ "net/http" // clean: standard library
+
+	_ "repro/internal/bgp"  // flagged: a loader
+	_ "repro/internal/ckpt" // clean: the artifact framing it shares
+	_ "repro/internal/core" // flagged: the engine
+	_ "repro/internal/obs"  // clean: metrics, imported by every layer
+)

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"time"
 )
 
 // Handler returns the debug HTTP handler for rec:
@@ -47,16 +48,43 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// NewServer returns an http.Server hardened against misbehaving
+// clients. A zero-value http.Server has no timeouts at all, so a single
+// slow-loris client — one that opens a connection and trickles header
+// bytes, or never reads its response — pins a connection (and its
+// goroutine and buffers) forever. Every HTTP surface this repo binds
+// (the -metrics-addr debug server, the bdrmapitd serving daemon) goes
+// through this constructor so the slow-client posture is one audited
+// decision:
+//
+//   - ReadHeaderTimeout caps the slow-loris window itself;
+//   - IdleTimeout reclaims keep-alive connections that went quiet;
+//   - WriteTimeout is generous (5m) because the debug surface streams
+//     long pprof profiles; latency-sensitive callers tighten it on the
+//     returned server;
+//   - MaxHeaderBytes bounds per-connection header memory.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // Serve starts the debug server on addr (e.g. "localhost:6060" or
 // ":0") in a background goroutine and returns the bound address. The
-// server lives for the remainder of the process; callers that need
-// shutdown control should mount Handler themselves.
+// server is hardened via NewServer and lives for the remainder of the
+// process; callers that need shutdown control should mount Handler
+// themselves.
 func Serve(addr string, rec *Recorder) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(rec)}
+	srv := NewServer(Handler(rec))
 	go srv.Serve(ln)
 	return ln.Addr(), nil
 }

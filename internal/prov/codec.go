@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"io/fs"
 	"net/netip"
@@ -38,37 +37,18 @@ func (e *FormatError) Error() string {
 	return "prov: invalid artifact: " + e.Reason
 }
 
-// Encode writes a to w in the artifact format:
-//
-//	magic[8] version[1] payloadLen[u32le] payload crc32[u32le]
-//
-// with the IEEE CRC covering everything before it — the same framing
-// discipline as internal/ckpt, so the artifact is safe to mmap or
-// stream and torn/bit-rotted files are detected on load. Encoding is a
-// pure function of a: re-encoding a decoded artifact is byte-identical,
-// which is what makes cross-worker and cross-resume artifact comparison
-// a plain byte comparison.
+// Encode writes a to w in the artifact format: the shared artifact
+// envelope (ckpt.WriteFrame: magic, version, length prefix, trailing
+// IEEE CRC) around the provenance payload, so the artifact is safe to
+// mmap or stream and torn/bit-rotted files are detected on load.
+// Encoding is a pure function of a: re-encoding a decoded artifact is
+// byte-identical, which is what makes cross-worker and cross-resume
+// artifact comparison a plain byte comparison.
 func Encode(w io.Writer, a *Artifact) error {
 	if a == nil {
 		return errors.New("prov: nil artifact")
 	}
-	p := appendPayload(nil, a)
-	head := make([]byte, 0, len(magic)+1+4)
-	head = append(head, magic...)
-	head = append(head, Version)
-	head = binary.LittleEndian.AppendUint32(head, uint32(len(p)))
-	crc := crc32.ChecksumIEEE(head)
-	crc = crc32.Update(crc, crc32.IEEETable, p)
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	if _, err := w.Write(p); err != nil {
-		return err
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc)
-	_, err := w.Write(tail[:])
-	return err
+	return ckpt.WriteFrame(w, magic, Version, appendPayload(nil, a))
 }
 
 func appendPayload(p []byte, a *Artifact) []byte {
@@ -124,26 +104,15 @@ func Decode(r io.Reader) (*Artifact, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prov: reading artifact: %w", err)
 	}
-	headLen := len(magic) + 1 + 4
-	if len(data) < headLen+4 {
-		return nil, &FormatError{Reason: fmt.Sprintf("file too short (%d bytes)", len(data))}
+	payload, err := ckpt.ReadFrame(data, magic, Version, "bdrmapIT provenance artifact")
+	if err != nil {
+		var fe *ckpt.FrameError
+		if errors.As(err, &fe) {
+			return nil, &FormatError{Reason: fe.Reason}
+		}
+		return nil, err
 	}
-	if string(data[:len(magic)]) != magic {
-		return nil, &FormatError{Reason: "bad magic (not a bdrmapIT provenance artifact)"}
-	}
-	if v := data[len(magic)]; v != Version {
-		return nil, &FormatError{Reason: fmt.Sprintf("unsupported format version %d (this build reads version %d)", v, Version)}
-	}
-	plen := binary.LittleEndian.Uint32(data[len(magic)+1:])
-	if uint64(len(data)) != uint64(headLen)+uint64(plen)+4 {
-		return nil, &FormatError{Reason: fmt.Sprintf("length mismatch: header declares %d payload bytes, file holds %d", plen, len(data)-headLen-4)}
-	}
-	body := data[:len(data)-4]
-	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if got := crc32.ChecksumIEEE(body); got != wantCRC {
-		return nil, &FormatError{Reason: fmt.Sprintf("checksum mismatch (stored %#x, computed %#x)", wantCRC, got)}
-	}
-	d := &decoder{b: data[headLen : len(data)-4]}
+	d := &decoder{b: payload}
 	a := &Artifact{Iterations: d.count("iterations")}
 	flags := d.u8()
 	a.Converged = flags&1 != 0

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/netip"
+	"os"
+
+	"repro/internal/ckpt"
+)
+
+// Version is the serving-snapshot format version; Open refuses any
+// other. Serving annotations reinterpreted across format revisions
+// would be answered confidently and wrongly — worse than refusing.
+const Version = 1
+
+// magic identifies a bdrmapIT serving snapshot (8 bytes, sibling of
+// ckpt's "BMITCKPT" and prov's "BMITPROV").
+const magic = "BMITSRVE"
+
+// kind is the artifact name used in envelope diagnostics.
+const kind = "bdrmapIT serving snapshot"
+
+// FormatError reports a snapshot artifact that failed structural
+// validation: wrong magic or version, bad length, failed CRC, or a
+// malformed payload. Corruption is detected here — at open time —
+// rather than surfacing as wrong answers to live queries.
+type FormatError struct {
+	Reason string
+}
+
+func (e *FormatError) Error() string {
+	return "serve: invalid snapshot artifact: " + e.Reason
+}
+
+// MismatchError reports an artifact whose envelope was intact but whose
+// stamped content fingerprint disagrees with the payload it frames — a
+// writer bug, a hand-assembled artifact, or corruption that collided
+// the CRC. The snapshot is refused: serving annotations that do not
+// match their claimed identity would poison every generation-
+// consistency check downstream.
+type MismatchError struct {
+	Want, Got uint64
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("serve: snapshot fingerprint mismatch: artifact claims %#x but content hashes to %#x; refusing to publish", e.Want, e.Got)
+}
+
+// Encode writes s to w: the shared artifact envelope (ckpt.WriteFrame)
+// around a payload whose first 8 bytes are the FNV-64a fingerprint of
+// everything after them. Encoding is a pure function of s's exported
+// tables (canonical order enforced via SortTables by builders), so two
+// identical runs produce byte-identical snapshots and fingerprint
+// equality means table equality.
+func Encode(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return errors.New("serve: nil snapshot")
+	}
+	body := appendPayload(nil, s)
+	h := fnv.New64a()
+	h.Write(body)
+	s.fingerprint = h.Sum64()
+	payload := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+len(body)), s.fingerprint)
+	payload = append(payload, body...)
+	return ckpt.WriteFrame(w, magic, Version, payload)
+}
+
+func appendPayload(p []byte, s *Snapshot) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s.Source)))
+	p = append(p, s.Source...)
+	p = binary.LittleEndian.AppendUint64(p, s.AnnDigest)
+	p = binary.AppendUvarint(p, uint64(len(s.Routers)))
+	for _, as := range s.Routers {
+		p = binary.AppendUvarint(p, uint64(as))
+	}
+	p = binary.AppendUvarint(p, uint64(len(s.Ifaces)))
+	for i := range s.Ifaces {
+		f := &s.Ifaces[i]
+		p = appendAddr(p, f.Addr)
+		p = binary.AppendUvarint(p, uint64(f.Router))
+		p = binary.AppendUvarint(p, uint64(f.ConnAS))
+	}
+	p = binary.AppendUvarint(p, uint64(len(s.Links)))
+	for i := range s.Links {
+		l := &s.Links[i]
+		p = appendAddr(p, l.FarAddr)
+		p = binary.AppendUvarint(p, uint64(l.NearAS))
+		p = binary.AppendUvarint(p, uint64(l.FarAS))
+		var lb byte
+		if len(l.Label) > 0 {
+			lb = l.Label[0]
+		}
+		p = append(p, lb)
+	}
+	p = binary.AppendUvarint(p, uint64(len(s.Prefixes)))
+	for i := range s.Prefixes {
+		pr := &s.Prefixes[i]
+		p = appendAddr(p, pr.Prefix.Addr())
+		p = append(p, byte(pr.Prefix.Bits()))
+		p = binary.AppendUvarint(p, uint64(pr.Origin))
+		p = append(p, byte(pr.Kind))
+	}
+	return p
+}
+
+// appendAddr encodes an address as a length byte (4 or 16) followed by
+// the raw bytes, preserving the IPv4/IPv6 distinction.
+func appendAddr(p []byte, a netip.Addr) []byte {
+	if a.Is4() {
+		b := a.As4()
+		p = append(p, 4)
+		return append(p, b[:]...)
+	}
+	b := a.As16()
+	p = append(p, 16)
+	return append(p, b[:]...)
+}
+
+// Decode reads one snapshot from data, validating the envelope, the
+// content fingerprint, the payload structure, and (via Validate) the
+// table invariants. Structural failures return a *FormatError,
+// fingerprint disagreement a *MismatchError, and invariant violations a
+// *ValidationError; Decode never panics on corrupt input. The returned
+// snapshot is not yet indexed — Open does that.
+func Decode(data []byte) (*Snapshot, error) {
+	payload, err := ckpt.ReadFrame(data, magic, Version, kind)
+	if err != nil {
+		var fe *ckpt.FrameError
+		if errors.As(err, &fe) {
+			return nil, &FormatError{Reason: fe.Reason}
+		}
+		return nil, err
+	}
+	if len(payload) < 8 {
+		return nil, &FormatError{Reason: fmt.Sprintf("payload too short for fingerprint (%d bytes)", len(payload))}
+	}
+	want := binary.LittleEndian.Uint64(payload)
+	body := payload[8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if got := h.Sum64(); got != want {
+		return nil, &MismatchError{Want: want, Got: got}
+	}
+
+	d := &decoder{b: body}
+	s := &Snapshot{fingerprint: want}
+	s.Source = d.str("source")
+	s.AnnDigest = d.u64()
+	n := d.count("router count")
+	d.checkLen(n, 1, "router table")
+	if d.err == nil && n > 0 {
+		s.Routers = make([]uint32, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Routers = append(s.Routers, d.u32v("router AS"))
+	}
+	n = d.count("interface count")
+	d.checkLen(n, 7, "interface table")
+	if d.err == nil && n > 0 {
+		s.Ifaces = make([]Iface, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		s.Ifaces = append(s.Ifaces, Iface{
+			Addr:   d.addr(),
+			Router: d.u32v("interface router index"),
+			ConnAS: d.u32v("interface connected AS"),
+		})
+	}
+	n = d.count("link count")
+	d.checkLen(n, 8, "link table")
+	if d.err == nil && n > 0 {
+		s.Links = make([]Link, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		l := Link{
+			FarAddr: d.addr(),
+			NearAS:  d.u32v("link near AS"),
+			FarAS:   d.u32v("link far AS"),
+		}
+		l.Label = string(rune(d.u8()))
+		s.Links = append(s.Links, l)
+	}
+	n = d.count("prefix count")
+	d.checkLen(n, 8, "prefix table")
+	if d.err == nil && n > 0 {
+		s.Prefixes = make([]Prefix, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		a := d.addr()
+		bits := int(d.u8())
+		pr := Prefix{
+			Origin: d.u32v("prefix origin AS"),
+			Kind:   PrefixKind(d.u8()),
+		}
+		if d.err == nil {
+			p := netip.PrefixFrom(a, bits)
+			if !p.IsValid() {
+				d.fail(fmt.Sprintf("invalid prefix %s/%d", a, bits))
+			}
+			pr.Prefix = p
+		}
+		s.Prefixes = append(s.Prefixes, pr)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, &FormatError{Reason: fmt.Sprintf("%d trailing payload bytes", len(d.b)-d.off)}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteFile atomically publishes the snapshot at path (write-temp +
+// fsync + rename via ckpt.AtomicWrite), so a daemon re-opening the path
+// mid-write sees either the complete old artifact or the complete new
+// one — the producer half of the hot-swap contract.
+func WriteFile(path string, s *Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := ckpt.AtomicWrite(path, func(w io.Writer) error { return Encode(w, s) }); err != nil {
+		return fmt.Errorf("serve: writing snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// Open loads, validates, self-checks, and indexes the snapshot at
+// path: the one entry point a server uses, so nothing unvalidated can
+// reach the published pointer. Failures are typed — *FormatError for
+// structural corruption, *MismatchError for fingerprint disagreement,
+// *ValidationError for invariant or self-check failures — and the
+// caller's currently published snapshot is never touched.
+func Open(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot %s: %w", path, err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	s.Index()
+	if err := s.SelfCheck(); err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// decoder is a bounds-checked cursor over the payload; the first
+// structural violation latches err and subsequent reads are no-ops
+// (the same discipline as ckpt's and prov's decoders).
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(reason string) {
+	if d.err == nil {
+		d.err = &FormatError{Reason: reason}
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("payload truncated reading byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("payload truncated reading u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("malformed varint in " + what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads a non-negative size that must be plausible for the
+// payload length.
+func (d *decoder) count(what string) int {
+	v := d.uvarint(what)
+	if v > uint64(len(d.b)) {
+		d.fail(fmt.Sprintf("implausible %s %d for a %d-byte payload", what, v, len(d.b)))
+		return 0
+	}
+	return int(v)
+}
+
+// u32v reads a uvarint that must fit a uint32 (an AS number or table
+// index).
+func (d *decoder) u32v(what string) uint32 {
+	v := d.uvarint(what)
+	if v > 1<<32-1 {
+		d.fail(what + " overflows uint32")
+		return 0
+	}
+	return uint32(v)
+}
+
+// checkLen rejects a declared element count whose minimum encoding
+// could not fit in the remaining payload, before anything allocates.
+func (d *decoder) checkLen(n, minBytesPer int, what string) {
+	if d.err != nil {
+		return
+	}
+	if n*minBytesPer > len(d.b)-d.off {
+		d.fail(fmt.Sprintf("declared %s %d exceeds remaining payload", what, n))
+	}
+}
+
+func (d *decoder) str(what string) string {
+	n := d.count(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if d.off+n > len(d.b) {
+		d.fail("payload truncated reading " + what)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// addr reads a length-prefixed address (4 or 16 bytes).
+func (d *decoder) addr() netip.Addr {
+	n := d.u8()
+	if d.err != nil {
+		return netip.Addr{}
+	}
+	if n != 4 && n != 16 {
+		d.fail(fmt.Sprintf("address length %d (want 4 or 16)", n))
+		return netip.Addr{}
+	}
+	if d.off+int(n) > len(d.b) {
+		d.fail("payload truncated reading address")
+		return netip.Addr{}
+	}
+	a, ok := netip.AddrFromSlice(d.b[d.off : d.off+int(n)])
+	if !ok {
+		d.fail("malformed address bytes")
+		return netip.Addr{}
+	}
+	d.off += int(n)
+	return a
+}

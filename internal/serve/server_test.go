@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+// getJSON fetches url and decodes the JSON body, returning the status
+// code alongside.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s: %v\nbody: %s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHotSwapAndRollback(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeSnapshot(t, dir, 1)
+	srv := New(Config{SnapshotPath: path})
+	if err := srv.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var before struct {
+		ConnAS     uint32 `json:"connected_as"`
+		Generation uint64 `json:"generation"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", &before); code != http.StatusOK {
+		t.Fatalf("lookup status %d", code)
+	}
+	if before.Generation != 1 || before.ConnAS != 301 {
+		t.Fatalf("initial answer %+v, want generation 1, connAS 301", before)
+	}
+
+	// Replace the artifact and swap: same address, new answer, new
+	// generation.
+	if err := os.WriteFile(path, encodeSnapshot(t, 50), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	var after struct {
+		ConnAS     uint32 `json:"connected_as"`
+		Generation uint64 `json:"generation"`
+	}
+	getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", &after)
+	if after.Generation != 2 || after.ConnAS != 350 {
+		t.Fatalf("post-swap answer %+v, want generation 2, connAS 350", after)
+	}
+
+	// Force the post-swap self-check to fail: the pointer must roll
+	// back to the generation that was serving, and keep serving it.
+	SwapCheckHook = func(*Snapshot) error { return &ValidationError{Reason: "forced by test"} }
+	defer func() { SwapCheckHook = nil }()
+	if err := os.WriteFile(path, encodeSnapshot(t, 99), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Reload()
+	if err == nil {
+		t.Fatal("Reload succeeded despite failing post-swap self-check")
+	}
+	var rolled struct {
+		ConnAS     uint32 `json:"connected_as"`
+		Generation uint64 `json:"generation"`
+	}
+	getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", &rolled)
+	if rolled.Generation != after.Generation || rolled.ConnAS != after.ConnAS {
+		t.Fatalf("rollback did not restore the serving snapshot: %+v, want %+v", rolled, after)
+	}
+}
+
+func TestReloadEndpointAndProbes(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeSnapshot(t, dir, 1)
+	srv := New(Config{SnapshotPath: path})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Before Load: alive but not ready, and lookups answer 503.
+	if code := getJSON(t, ts.URL+"/-/healthy", nil); code != http.StatusOK {
+		t.Errorf("healthy before load: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/-/ready", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("ready before load: %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("lookup before load: %d, want 503", code)
+	}
+
+	if err := srv.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/-/ready", nil); code != http.StatusOK {
+		t.Errorf("ready after load: %d", code)
+	}
+
+	// Reload via the admin endpoint.
+	if err := os.WriteFile(path, encodeSnapshot(t, 2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/-/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	if gen, _ := srv.Generation(); gen != 2 {
+		t.Errorf("generation after endpoint reload = %d, want 2", gen)
+	}
+
+	// A corrupt artifact through the endpoint: 409, old keeps serving.
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/-/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("corrupt reload status %d, want 409", resp.StatusCode)
+	}
+	if gen, _ := srv.Generation(); gen != 2 {
+		t.Errorf("generation disturbed by refused endpoint reload: %d", gen)
+	}
+
+	// Bad queries are 400s, not 500s.
+	if code := getJSON(t, ts.URL+"/v1/lookup", nil); code != http.StatusBadRequest {
+		t.Errorf("missing ip param: %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=not-an-ip", nil); code != http.StatusBadRequest {
+		t.Errorf("malformed ip param: %d, want 400", code)
+	}
+
+	// Drain: ready flips to 503, API keeps answering.
+	srv.StartDrain()
+	if code := getJSON(t, ts.URL+"/-/ready", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("ready while draining: %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", nil); code != http.StatusOK {
+		t.Errorf("lookup while draining: %d, want 200 (drain serves in-flight work)", code)
+	}
+}
+
+func TestAdmissionDegradeAndShed(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeSnapshot(t, dir, 1)
+	srv := New(Config{SnapshotPath: path, MaxInflight: 4, SoftInflight: 2})
+	if err := srv.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Occupy the admission budget directly (white box): two held slots
+	// put the next request over the soft threshold, four put it over the
+	// hard one.
+	var releases []func()
+	hold := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			level, release := srv.adm.acquire()
+			if level == Shed {
+				t.Fatalf("setup slot %d was shed", i)
+			}
+			releases = append(releases, release)
+		}
+	}
+	releaseAll := func() {
+		for _, r := range releases {
+			r()
+		}
+		releases = nil
+	}
+	defer releaseAll()
+
+	hold(2)
+	var degraded struct {
+		Found    bool   `json:"found"`
+		Degraded bool   `json:"degraded"`
+		OriginAS uint32 `json:"origin_as"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", &degraded); code != http.StatusOK {
+		t.Fatalf("lookup over soft threshold: status %d", code)
+	}
+	if !degraded.Degraded || !degraded.Found || degraded.OriginAS != 7018 {
+		t.Errorf("over the soft threshold got %+v, want a degraded prefix-table answer (origin 7018)", degraded)
+	}
+	// The cheap class stays full-service while degraded.
+	var ip2as struct {
+		Found    bool   `json:"found"`
+		OriginAS uint32 `json:"origin_as"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/ip2as?ip=10.0.0.1", &ip2as); code != http.StatusOK || !ip2as.Found {
+		t.Errorf("ip2as over soft threshold: status %d, %+v", code, ip2as)
+	}
+
+	hold(2) // now 4 in flight: the next request exceeds the hard budget
+	resp, err := http.Get(ts.URL + "/v1/lookup?ip=10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over the hard budget: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response has no Retry-After header")
+	}
+	// Probes bypass admission: they must answer while overloaded.
+	if code := getJSON(t, ts.URL+"/-/healthy", nil); code != http.StatusOK {
+		t.Errorf("healthy while overloaded: %d", code)
+	}
+
+	releaseAll()
+	var recovered struct {
+		Degraded bool `json:"degraded"`
+		Found    bool `json:"found"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", &recovered); code != http.StatusOK {
+		t.Fatalf("lookup after recovery: status %d", code)
+	}
+	if recovered.Degraded || !recovered.Found {
+		t.Errorf("after releasing the budget got %+v, want a full-service answer", recovered)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeSnapshot(t, dir, 1)
+	srv := New(Config{SnapshotPath: path})
+	if err := srv.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/panic", srv.api("lookup", func(http.ResponseWriter, *http.Request, AdmitLevel) {
+		panic("poisoned request")
+	}))
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code := getJSON(t, ts.URL+"/panic", nil); code != http.StatusInternalServerError {
+			t.Fatalf("panic request %d: status %d, want 500", i, code)
+		}
+	}
+	// The process survived and the admission budget was not leaked by
+	// the panicking requests: normal service continues.
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", nil); code != http.StatusOK {
+		t.Errorf("lookup after panics: status %d", code)
+	}
+}
+
+func TestRequestDeadline(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeSnapshot(t, dir, 1)
+	srv := New(Config{SnapshotPath: path, RequestTimeout: time.Nanosecond})
+	if err := srv.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A deadline that expires before the handler reaches its answer
+	// turns into an honest 503, not a stale success.
+	time.Sleep(time.Millisecond)
+	if code := getJSON(t, ts.URL+"/v1/lookup?ip=10.0.0.1", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("expired deadline: status %d, want 503", code)
+	}
+}

@@ -1,0 +1,97 @@
+package bdrmapit
+
+import (
+	"bytes"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestServeSnapshotAgreesWithAnnotations is the producer half of the
+// daemon's byte-equality contract: every interface in the annotations
+// rendering must get the identical router-AS/connected-AS answer from
+// the snapshot's lookup path, and the snapshot's stamped AnnDigest must
+// be the digest of that exact rendering.
+func TestServeSnapshotAgreesWithAnnotations(t *testing.T) {
+	res := runFull(t, Options{})
+	path := filepath.Join(t.TempDir(), "serve.snap")
+	if err := res.WriteServeSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ann bytes.Buffer
+	if err := res.Annotations(&ann); err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(ann.Bytes())
+	if snap.AnnDigest != h.Sum64() {
+		t.Errorf("AnnDigest %#x does not match the annotations rendering digest %#x", snap.AnnDigest, h.Sum64())
+	}
+
+	if snap.Fingerprint() == 0 {
+		t.Error("opened snapshot has no content fingerprint")
+	}
+	if len(snap.Ifaces) != res.NumInterfaces() {
+		t.Fatalf("snapshot holds %d interfaces, run observed %d", len(snap.Ifaces), res.NumInterfaces())
+	}
+	for i := range snap.Ifaces {
+		f := &snap.Ifaces[i]
+		got, ok := snap.Lookup(f.Addr)
+		if !ok {
+			t.Fatalf("interface %s unanswerable through the snapshot", f.Addr)
+		}
+		wantRouter, _ := res.RouterOperator(f.Addr)
+		wantConn, _ := res.ConnectedAS(f.Addr)
+		if got.RouterAS != wantRouter || got.ConnAS != wantConn {
+			t.Fatalf("interface %s: snapshot answers (%d, %d), run says (%d, %d)",
+				f.Addr, got.RouterAS, got.ConnAS, wantRouter, wantConn)
+		}
+	}
+	if len(snap.Links) == 0 {
+		t.Error("snapshot carries no interdomain links")
+	}
+	if len(snap.Prefixes) == 0 {
+		t.Error("snapshot carries no ip2as prefixes")
+	}
+}
+
+// TestServeSnapshotDeterministic: worker count must not leak into the
+// serialized snapshot — same guarantee the annotations and provenance
+// artifacts carry, extended to the serving artifact.
+func TestServeSnapshotDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var artifacts [][]byte
+	for i, workers := range []int{1, 4} {
+		res := runFull(t, Options{Workers: workers})
+		path := filepath.Join(dir, "snap")
+		if err := res.WriteServeSnapshot(path); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data)
+		if i > 0 && !bytes.Equal(artifacts[0], data) {
+			t.Errorf("serving snapshot differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestServeSnapshotRefusesInterrupted: a partial map must never become
+// a serving artifact.
+func TestServeSnapshotRefusesInterrupted(t *testing.T) {
+	res := runFull(t, Options{})
+	res.Interrupted = true
+	if err := res.WriteServeSnapshot(filepath.Join(t.TempDir(), "snap")); err == nil {
+		t.Fatal("WriteServeSnapshot accepted an interrupted run")
+	}
+}
