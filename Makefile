@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint lint-static lint-baseline build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke explain-smoke serve-smoke profile profile-micro
+.PHONY: ci vet lint lint-static lint-baseline build test race bench bench-micro bench-smoke smoke fuzz-smoke crash-smoke explain-smoke serve-smoke ingest-smoke profile profile-micro
 
 ci: vet lint lint-static build test race
 
@@ -101,6 +101,7 @@ fuzz-smoke:
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/traceroute -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzJournalDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 
 # Decision-provenance smoke: run the quickstart topology with
@@ -143,6 +144,46 @@ serve-smoke:
 # durability claims.
 crash-smoke:
 	$(GO) test ./cmd/bdrmapit -run '^TestCrashResume' -count=1 -v
+
+# Continuous-ingest smoke, in two halves. First the crash matrix: the
+# real bdrmapit-ingest binary is SIGKILLed at seeded points spanning
+# every intake stage (journal appends, absorbed-copy and output
+# renames, bootstrap and delta checkpoints), then rerun with the
+# delta≡full equivalence oracle armed. Second, a shell-driven session:
+# split a simnet corpus into a base and three batches, feed them plus
+# one poison batch through the real CLI, and require the published
+# annotations byte-identical to a from-scratch run over the merged
+# corpus with exactly one quarantined batch (reportcheck's
+# -allow-quarantined states the allowance precisely).
+INGEST_DIR ?= /tmp/bdrmapit-ingest-smoke
+ingest-smoke:
+	$(GO) test ./cmd/bdrmapit-ingest -run '^TestIngestCrashMatrix$$|^TestIngestCLISession$$' -count=1 -v
+	rm -rf $(INGEST_DIR)
+	$(GO) run ./cmd/topogen -out $(INGEST_DIR) -small -seed 7 -vps 10
+	total=$$(wc -l < $(INGEST_DIR)/traces.jsonl); \
+	base=$$((total * 3 / 5)); third=$$(((total - base + 2) / 3)); \
+	head -n $$base $(INGEST_DIR)/traces.jsonl > $(INGEST_DIR)/base.jsonl; \
+	tail -n +$$((base + 1)) $(INGEST_DIR)/traces.jsonl | head -n $$third > $(INGEST_DIR)/batch-1.jsonl; \
+	tail -n +$$((base + third + 1)) $(INGEST_DIR)/traces.jsonl | head -n $$third > $(INGEST_DIR)/batch-2.jsonl; \
+	tail -n +$$((base + 2 * third + 1)) $(INGEST_DIR)/traces.jsonl > $(INGEST_DIR)/batch-3.jsonl; \
+	echo "this is not a traceroute record" > $(INGEST_DIR)/poison.jsonl
+	$(GO) run ./cmd/bdrmapit-ingest -state $(INGEST_DIR)/state \
+		-traces $(INGEST_DIR)/base.jsonl -rib $(INGEST_DIR)/rib.txt \
+		-rir $(INGEST_DIR)/delegated-extended.txt -ixp $(INGEST_DIR)/ixp-prefixes.txt \
+		-rels $(INGEST_DIR)/as-rel.txt -aliases $(INGEST_DIR)/nodes.txt \
+		-batch $(INGEST_DIR)/batch-1.jsonl,$(INGEST_DIR)/batch-2.jsonl,$(INGEST_DIR)/poison.jsonl,$(INGEST_DIR)/batch-3.jsonl \
+		-verify-delta -annotations $(INGEST_DIR)/annotations.txt \
+		-quiet-report -report-json $(INGEST_DIR)/report.json
+	$(GO) run ./cmd/bdrmapit \
+		-traces $(INGEST_DIR)/base.jsonl,$(INGEST_DIR)/batch-1.jsonl,$(INGEST_DIR)/batch-2.jsonl,$(INGEST_DIR)/batch-3.jsonl \
+		-rib $(INGEST_DIR)/rib.txt -rir $(INGEST_DIR)/delegated-extended.txt \
+		-ixp $(INGEST_DIR)/ixp-prefixes.txt -rels $(INGEST_DIR)/as-rel.txt \
+		-aliases $(INGEST_DIR)/nodes.txt \
+		-annotations $(INGEST_DIR)/oracle.txt -quiet-report
+	cmp $(INGEST_DIR)/annotations.txt $(INGEST_DIR)/oracle.txt
+	$(GO) run ./cmd/reportcheck -report $(INGEST_DIR)/report.json \
+		-allow-quarantined 1 -counters ingest.absorbed
+	test $$(ls $(INGEST_DIR)/state/quarantine/*.reason | wc -l) -eq 1
 
 # CPU/heap profiles of a full ladder-rung pipeline run (RUNG as above;
 # M is the rung the refinement optimizations were tuned on), for pprof

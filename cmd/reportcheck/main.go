@@ -9,7 +9,11 @@
 // should report neither. -allow-degraded accepts degraded input
 // sources (each entry must still be structurally complete — class,
 // path, fallback, and error all populated); -allow-interrupted accepts
-// a cancelled run's report.
+// a cancelled run's report. Quarantined ingest batches are failures by
+// default too: -allow-quarantined N accepts a continuous-ingest report
+// whose ingest.quarantined counter is at most N, so a smoke run that
+// deliberately feeds one poison batch can demand exactly that much
+// quarantine and no more.
 //
 // With -bench, reportcheck instead (or additionally) validates
 // benchmark-ladder artifacts: each listed BENCH_<rung>.json must
@@ -33,6 +37,7 @@
 //
 //	reportcheck -report FILE [-counters name,name...]
 //	            [-allow-degraded] [-allow-interrupted]
+//	            [-allow-quarantined N]
 //	reportcheck -bench FILE[,FILE...]
 //	reportcheck -bench-compare OLD,NEW [-regress PCT]
 package main
@@ -59,6 +64,7 @@ func main() {
 		counters    = flag.String("counters", "", "comma-separated counter names that must be non-zero")
 		allowDegr   = flag.Bool("allow-degraded", false, "accept a report with degraded input sources")
 		allowInterr = flag.Bool("allow-interrupted", false, "accept a report from an interrupted (cancelled) run")
+		allowQuar   = flag.Int("allow-quarantined", 0, "accept an ingest report with at most N quarantined batches")
 		benchCmp    = flag.String("bench-compare", "", "compare two bench artifacts OLD,NEW: determinism metrics exactly, cost metrics within -regress")
 		regress     = flag.Float64("regress", 50, "with -bench-compare: maximum tolerated cost-metric regression, percent")
 	)
@@ -149,6 +155,14 @@ func main() {
 		if d.Class == "" || d.Path == "" || d.Fallback == "" || d.Error == "" {
 			fail("degradation %d is incomplete: %+v", i, d)
 		}
+	}
+
+	// A quarantined batch means input the pipeline refused to absorb —
+	// a clean ingest session has none, and a smoke run that feeds a
+	// known poison batch states its exact allowance.
+	if q := rep.Counters["ingest.quarantined"]; q > int64(*allowQuar) {
+		fail("ingest.quarantined = %d, want <= %d (pass -allow-quarantined N to accept quarantined batches)",
+			q, *allowQuar)
 	}
 
 	for _, name := range strings.Split(*counters, ",") {

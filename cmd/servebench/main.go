@@ -6,8 +6,8 @@
 //
 //	servebench -addr http://HOST:PORT -expect SNAP[,SNAP...]
 //	           [-clients N] [-duration D | -requests N]
-//	           [-zipf S] [-seed N]
-//	servebench -addr http://HOST:PORT -sweep ANNOTATIONS
+//	           [-zipf S] [-seed N] [-reload]
+//	servebench -addr http://HOST:PORT -sweep ANNOTATIONS [-reload]
 //
 // Each client draws addresses from a zipf-skewed popularity
 // distribution over the expected snapshots' interface tables (plus a
@@ -50,6 +50,7 @@ func main() {
 		zipfS    = flag.Float64("zipf", 1.2, "zipf skew of the address popularity distribution (> 1)")
 		seed     = flag.Int64("seed", 1, "load-mix seed (same seed, same mix)")
 		sweep    = flag.String("sweep", "", "byte-equality mode: replay this annotations file and demand identical answers")
+		reload   = flag.Bool("reload", false, "trigger the daemon's /-/reload first, outwaiting 409/503 with bounded jittered backoff")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -60,6 +61,18 @@ func main() {
 	baseURL := strings.TrimRight(*addr, "/")
 	if !strings.Contains(baseURL, "://") {
 		baseURL = "http://" + baseURL
+	}
+
+	// Reload before measuring: a continuous-ingest publisher may have
+	// just swapped the snapshot file, and a mid-publish 409 or an
+	// admission-control 503 from the daemon is a race to outwait, not a
+	// failure.
+	if *reload {
+		gen, err := (&serve.ReloadClient{Addr: baseURL}).Reload(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reload: daemon now serving generation %d\n", gen)
 	}
 
 	if *sweep != "" {

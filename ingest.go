@@ -1,0 +1,698 @@
+package bdrmapit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/bgp"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/ip2as"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/traceroute"
+)
+
+// IngestOptions configures a continuous-ingest session: where the
+// durable intake state lives, what gets published after each absorbed
+// batch, and how hard to fight transient failures before quarantining.
+type IngestOptions struct {
+	// StateDir is the intake store root: the refinement checkpoint,
+	// the write-ahead intake journal, durable copies of absorbed
+	// batches, and the quarantine directory all live under it. It is
+	// the single directory an operator backs up or inspects.
+	StateDir string
+	// AnnotationsPath, when set, is republished atomically after the
+	// bootstrap run and after every absorbed batch.
+	AnnotationsPath string
+	// SnapshotPath, when set, gets a serving snapshot (cmd/bdrmapitd
+	// format) published the same way.
+	SnapshotPath string
+	// ReloadAddr, when set, is a bdrmapitd address whose /-/reload is
+	// triggered after each snapshot publish (with bounded, jittered
+	// retry on 409/503). A daemon that stays unreachable is a warning,
+	// not a failed batch: the published files are already durable.
+	ReloadAddr string
+	// VerifyDelta turns on the equivalence oracle: after each absorbed
+	// batch, re-run inference from scratch on the merged corpus at
+	// workers 1, 4, and 8 and require byte-identical annotations. A
+	// divergence is a hard error before the batch is marked applied.
+	VerifyDelta bool
+	// MaxBadRecords is the per-batch malformed-line budget; a batch
+	// exceeding it is quarantined (delta.RefusalBudget).
+	MaxBadRecords int
+	// RetryAttempts / RetryBase / RetryMax tune the bounded
+	// jittered-backoff retries around batch reads and daemon reloads
+	// (defaults: 4 attempts, 100ms base, 5s cap).
+	RetryAttempts int
+	RetryBase     time.Duration
+	RetryMax      time.Duration
+	// Run carries the inference options (workers, heuristic ablations,
+	// recorder, error budgets). CheckpointDir and Resume are ignored —
+	// the store owns checkpoint placement — and Provenance is refused:
+	// delta refinement does not reconstruct per-router decision traces.
+	Run Options
+}
+
+// BatchOutcome reports what happened to one offered batch.
+type BatchOutcome struct {
+	Name string
+	FP   uint64
+	// Decision is the intake decision ("absorb", "resume-apply",
+	// "skip", "skip-quarantined", "poison").
+	Decision string
+	// Quarantined is true when the batch ended up in quarantine;
+	// Reason carries the refusal class.
+	Quarantined bool
+	Reason      string
+	// Traces is the batch's parsed trace count (absorbed batches).
+	Traces int
+	// Iterations is the number of refinement iterations the absorption
+	// ran (0 for skips and quarantines).
+	Iterations int
+}
+
+// IngestResult summarizes a continuous-ingest session.
+type IngestResult struct {
+	Outcomes []BatchOutcome
+	// Absorbed / Skipped / Quarantined tally the outcomes.
+	Absorbed, Skipped, Quarantined int
+	// Interrupted is true when the session's context was cancelled
+	// mid-apply; the in-flight batch's journal intent is pending and a
+	// restart redoes it.
+	Interrupted bool
+	// Report is the session's telemetry snapshot.
+	Report *obs.Report
+}
+
+// ingestState is the session's rolling inference state: the current
+// merged corpus, its graph, and the converged checkpoint that the next
+// batch's delta run uses as its base.
+type ingestState struct {
+	traces  []*traceroute.Trace
+	graph   *core.Graph
+	state   *ckpt.State
+	lineage []ckpt.BatchInfo
+	res     *core.Result
+}
+
+// errInterrupted is the internal signal that a batch apply observed
+// context cancellation; the session stops cleanly with Interrupted set.
+var errInterrupted = errors.New("ingest interrupted")
+
+// Ingest is IngestContext with a background context.
+func Ingest(src Sources, batchPaths []string, opts IngestOptions) (*IngestResult, error) {
+	return IngestContext(context.Background(), src, batchPaths, opts)
+}
+
+// IngestContext runs one continuous-ingest session: bootstrap or
+// crash-recover the refinement state under opts.StateDir, then absorb
+// each batch in batchPaths in order. Every state transition is
+// journaled before it takes effect, so a SIGKILL at any byte boundary
+// resumes without loss or double-apply: re-offering the same batches
+// after a crash is always safe. Poison batches are quarantined with a
+// typed reason and never block the batches behind them.
+//
+// src names the base corpus (the traces of the original full run) and
+// the non-trace context (RIBs, RIR, IXP, relationships, aliases). The
+// base sources must not change between sessions against the same
+// StateDir; a changed base is refused with a *ckpt.MismatchError.
+func IngestContext(ctx context.Context, src Sources, batchPaths []string, opts IngestOptions) (*IngestResult, error) {
+	if len(src.TraceroutePaths) == 0 {
+		return nil, fmt.Errorf("bdrmapit: ingest: no base traceroute inputs")
+	}
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("bdrmapit: ingest: StateDir is required")
+	}
+	if opts.Run.Provenance {
+		return nil, fmt.Errorf("bdrmapit: ingest: provenance collection is not supported with delta refinement")
+	}
+	rec := opts.Run.Recorder
+	if rec == nil {
+		rec = obs.New()
+		opts.Run.Recorder = rec
+	}
+	warnw := opts.Run.WarnWriter
+	if warnw == nil {
+		warnw = os.Stderr
+	}
+
+	store, err := delta.Open(opts.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("bdrmapit: ingest: %w", err)
+	}
+	defer store.Close()
+
+	ing := &ingester{
+		ctx: ctx, opts: &opts, rec: rec, warnw: warnw,
+		store: store, out: &IngestResult{},
+	}
+	err = ing.run(src, batchPaths)
+	ing.out.Report = rec.Report()
+	if errors.Is(err, errInterrupted) {
+		ing.out.Interrupted = true
+		return ing.out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ing.out, nil
+}
+
+// ingester carries one session's wiring so the phases below stay
+// readable.
+type ingester struct {
+	ctx   context.Context
+	opts  *IngestOptions
+	rec   *obs.Recorder
+	warnw io.Writer
+	store *delta.Store
+	out   *IngestResult
+
+	resolver *ip2as.Resolver
+	rels     core.RelationshipOracle
+	aliases  *alias.Sets
+	copts    core.Options
+	baseDig  uint64
+	cur      ingestState
+}
+
+func (ing *ingester) run(src Sources, batchPaths []string) error {
+	if err := ing.loadBase(src); err != nil {
+		return err
+	}
+	if err := ing.bootstrapOrRecover(); err != nil {
+		return err
+	}
+	// Republish unconditionally: the publish step is atomic and
+	// idempotent, and doing it here closes the crash window between a
+	// committed checkpoint and its published artifacts.
+	annDigest, err := ing.publish(ing.cur.res)
+	if err != nil {
+		return err
+	}
+	if err := ing.resolvePending(annDigest); err != nil {
+		return err
+	}
+	for _, path := range batchPaths {
+		if err := ing.offerBatch(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadBase loads the non-batch inputs exactly as RunContext would: the
+// same loaders, the same error budgets, the same degradations.
+func (ing *ingester) loadBase(src Sources) error {
+	l := &loader{ctx: ing.ctx, opts: &ing.opts.Run, rec: ing.rec, warnw: ing.warnw}
+	loadPhase := ing.rec.Phase("load-inputs")
+	traces, err := l.loadTraces(src.TraceroutePaths)
+	if err != nil {
+		return err
+	}
+	routes, err := l.loadRoutes(src.BGPRIBPaths, src.Prefix2ASPaths)
+	if err != nil {
+		return err
+	}
+	dels, err := l.loadRIR(src.RIRDelegationPaths)
+	if err != nil {
+		return err
+	}
+	ixps, err := l.loadIXPs(src.IXPPrefixListPaths)
+	if err != nil {
+		return err
+	}
+	rels, err := l.loadRels(src.ASRelationshipPaths, routes)
+	if err != nil {
+		return err
+	}
+	aliases, err := l.loadAliases(src.AliasNodePaths)
+	if err != nil {
+		return err
+	}
+	loadPhase.End()
+	if len(traces) == 0 {
+		return fmt.Errorf("bdrmapit: ingest: no traces loaded from %d base input(s)", len(src.TraceroutePaths))
+	}
+	if len(routes) == 0 && len(src.BGPRIBPaths) > 0 {
+		return fmt.Errorf("bdrmapit: ingest: no routes loaded from %d RIB input(s)", len(src.BGPRIBPaths))
+	}
+
+	dig := ing.rec.Phase("digest-inputs")
+	ing.baseDig = digestSources(src)
+	dig.End()
+
+	ing.resolver = &ip2as.Resolver{IXPs: ixps, Table: bgp.NewTable(routes), Delegations: dels}
+	ing.rels = rels
+	ing.aliases = aliases
+	ing.copts = ing.opts.Run.internal()
+	ing.cur.traces = traces
+	return nil
+}
+
+// bootstrapOrRecover establishes the session's base state: a full run
+// over the base corpus when the store has no checkpoint yet, or a
+// reconstruction of the checkpointed merged corpus (base + absorbed
+// lineage batches) after a restart. A checkpoint left unconverged by a
+// crash — during bootstrap or mid-delta — resumes to convergence here;
+// resuming an already-converged checkpoint restores it without running
+// any iteration, so this path is cheap in the steady state.
+func (ing *ingester) bootstrapOrRecover() error {
+	st, err := ckpt.Load(ing.store.Dir)
+	switch {
+	case errors.Is(err, ckpt.ErrNoCheckpoint):
+		ing.rec.Logf("ingest: no checkpoint under %s; bootstrapping from the base corpus", ing.store.Dir)
+		bopts := ing.copts
+		bopts.Checkpoint = ing.ckptConfig(nil, false)
+		g, err := core.BuildGraphContext(ing.ctx, ing.cur.traces, ing.resolver, ing.aliases, ing.rels, bopts)
+		if err != nil {
+			return fmt.Errorf("bdrmapit: ingest: %w", err)
+		}
+		res, err := core.RunContext(ing.ctx, g, ing.rels, bopts)
+		if err != nil {
+			return fmt.Errorf("bdrmapit: ingest: bootstrap: %w", err)
+		}
+		if res.Interrupted {
+			return errInterrupted
+		}
+		return ing.adoptState(res, nil)
+	case err != nil:
+		return fmt.Errorf("bdrmapit: ingest: %w", err)
+	}
+
+	// Restart: fold the absorbed lineage batches back into the corpus
+	// the checkpoint describes, in lineage order.
+	for _, b := range st.Lineage {
+		data, err := ing.readWithRetry(ing.store.AbsorbedPath(b.FP), b.FP)
+		if err != nil {
+			return fmt.Errorf("bdrmapit: ingest: absorbed copy for lineage batch %s (fp %016x) unreadable: %w", b.Name, b.FP, err)
+		}
+		traces, _, err := delta.ValidateBatch(b.Name, b.FP, data, ing.opts.MaxBadRecords)
+		if err != nil {
+			return fmt.Errorf("bdrmapit: ingest: absorbed copy for lineage batch %s no longer validates: %w", b.Name, err)
+		}
+		ing.cur.traces = append(ing.cur.traces, traces...)
+	}
+	ropts := ing.copts
+	ropts.Checkpoint = ing.ckptConfig(st.Lineage, true)
+	g, err := core.BuildGraphContext(ing.ctx, ing.cur.traces, ing.resolver, ing.aliases, ing.rels, ropts)
+	if err != nil {
+		return fmt.Errorf("bdrmapit: ingest: %w", err)
+	}
+	res, err := core.RunContext(ing.ctx, g, ing.rels, ropts)
+	if err != nil {
+		return fmt.Errorf("bdrmapit: ingest: restoring checkpoint: %w", err)
+	}
+	if res.Interrupted {
+		return errInterrupted
+	}
+	ing.rec.Logf("ingest: restored checkpoint at iteration %d with %d absorbed batch(es)", res.Iterations, len(st.Lineage))
+	return ing.adoptState(res, st.Lineage)
+}
+
+// adoptState installs a just-committed run as the session's rolling
+// base: reload the checkpoint it saved (the next delta's base state
+// must carry that run's history) and remember graph and lineage.
+func (ing *ingester) adoptState(res *core.Result, lineage []ckpt.BatchInfo) error {
+	st, err := ckpt.Load(ing.store.Dir)
+	if err != nil {
+		return fmt.Errorf("bdrmapit: ingest: reloading committed checkpoint: %w", err)
+	}
+	if err := st.RequireHistory(); err != nil {
+		return fmt.Errorf("bdrmapit: ingest: %w", err)
+	}
+	ing.cur.graph = res.Graph
+	ing.cur.state = st
+	ing.cur.lineage = lineage
+	ing.cur.res = res
+	return nil
+}
+
+// resolvePending finishes what a crash started: journal intents with
+// no terminal record. Two cases, told apart by the checkpoint lineage:
+// the apply committed but the applied record didn't (finish the
+// journal), or the apply never committed (redo it from the absorbed
+// durable copy).
+func (ing *ingester) resolvePending(annDigest uint64) error {
+	for _, p := range ing.store.Pending() {
+		if lineageHas(ing.cur.lineage, p.FP) {
+			ing.rec.Logf("ingest: batch %s (fp %016x) was applied before the crash; completing its journal record", p.Name, p.FP)
+			if err := ing.store.MarkApplied(p.FP, p.Name, annDigest); err != nil {
+				return err
+			}
+			ing.recordOutcome(BatchOutcome{Name: p.Name, FP: p.FP, Decision: delta.ResumeApply.String(), Traces: p.Traces})
+			continue
+		}
+		data, err := ing.readWithRetry(ing.store.AbsorbedPath(p.FP), p.FP)
+		if err != nil {
+			// The durable copy is gone: the batch cannot be redone, and
+			// leaving the intent pending would wedge every restart.
+			ref := &delta.Refusal{Class: delta.RefusalIO, Batch: p.Name, FP: p.FP, Err: err}
+			if qerr := ing.quarantine(ref, nil); qerr != nil {
+				return qerr
+			}
+			continue
+		}
+		traces, _, err := delta.ValidateBatch(p.Name, p.FP, data, ing.opts.MaxBadRecords)
+		if err != nil {
+			var ref *delta.Refusal
+			if errors.As(err, &ref) {
+				if qerr := ing.quarantine(ref, data); qerr != nil {
+					return qerr
+				}
+				continue
+			}
+			return err
+		}
+		ing.rec.Logf("ingest: redoing crash-interrupted apply of batch %s (fp %016x)", p.Name, p.FP)
+		if err := ing.applyBatch(p.Name, p.FP, traces, delta.ResumeApply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// offerBatch runs the intake state machine for one arriving batch
+// file.
+func (ing *ingester) offerBatch(path string) error {
+	name := filepath.Base(path)
+	data, err := ing.readWithRetry(path, fnvString(name))
+	if err != nil {
+		// The batch bytes never became readable; quarantine by a
+		// name-derived placeholder fingerprint (there is no content to
+		// fingerprint) so the refusal is durable and visible.
+		ref := &delta.Refusal{Class: delta.RefusalIO, Batch: name, FP: fnvString(name), Err: err}
+		return ing.quarantine(ref, nil)
+	}
+	fp := delta.Fingerprint(data)
+	decision := ing.store.Decide(name, fp)
+	switch decision {
+	case delta.Skip, delta.SkipQuarantined:
+		ing.rec.Counter("ingest.skipped").Inc()
+		ing.rec.Logf("ingest: batch %s (fp %016x): %s", name, fp, decision)
+		st, _ := ing.store.State(fp)
+		ing.out.Skipped++
+		ing.out.Outcomes = append(ing.out.Outcomes, BatchOutcome{
+			Name: name, FP: fp, Decision: decision.String(),
+			Quarantined: st.Status == delta.StatusQuarantined, Reason: st.Reason,
+		})
+		return nil
+	case delta.Poison:
+		// A replay is journaled under a name-derived fingerprint: the
+		// content fingerprint belongs to the batch that legitimately
+		// owns it, and that batch's terminal state must not be
+		// disturbed by the impostor's quarantine record.
+		st, _ := ing.store.State(fp)
+		pfp := fnvString(name)
+		if prev, ok := ing.store.State(pfp); ok && prev.Status == delta.StatusQuarantined && prev.Name == name {
+			ing.rec.Counter("ingest.skipped").Inc()
+			ing.rec.Logf("ingest: batch %s (fp %016x): %s", name, fp, delta.SkipQuarantined)
+			ing.out.Skipped++
+			ing.out.Outcomes = append(ing.out.Outcomes, BatchOutcome{
+				Name: name, FP: pfp, Decision: delta.SkipQuarantined.String(),
+				Quarantined: true, Reason: prev.Reason,
+			})
+			return nil
+		}
+		ref := &delta.Refusal{
+			Class: delta.RefusalReplay, Batch: name, FP: pfp,
+			Err: fmt.Errorf("content (fp %016x) already journaled as %q (%s)", fp, st.Name, st.Status),
+		}
+		return ing.quarantine(ref, data)
+	}
+
+	traces, stats, err := delta.ValidateBatch(name, fp, data, ing.opts.MaxBadRecords)
+	if err != nil {
+		var ref *delta.Refusal
+		if errors.As(err, &ref) {
+			return ing.quarantine(ref, data)
+		}
+		return err
+	}
+	if decision == delta.Absorb {
+		// Durable copy first, then the intent: a pending intent always
+		// finds its bytes on restart.
+		if err := ing.store.SaveAbsorbed(fp, data); err != nil {
+			return err
+		}
+		if err := ing.store.Intent(fp, name, stats.Traces); err != nil {
+			return err
+		}
+	}
+	return ing.applyBatch(name, fp, traces, decision)
+}
+
+// applyBatch absorbs a validated batch: delta-refine the merged corpus
+// against the current base state, optionally prove delta≡full, publish
+// the artifacts, and complete the journal. Any error before the
+// applied record leaves the intent pending — the crash-recovery
+// contract — so a restart redoes the apply instead of losing it.
+func (ing *ingester) applyBatch(name string, fp uint64, batchTraces []*traceroute.Trace, decision delta.Decision) error {
+	phase := ing.rec.Phase("ingest-batch")
+	defer phase.End()
+	phase.Note("traces", int64(len(batchTraces)))
+
+	newLineage := append(append([]ckpt.BatchInfo{}, ing.cur.lineage...),
+		ckpt.BatchInfo{FP: fp, Name: name, Traces: len(batchTraces)})
+	merged := append(append([]*traceroute.Trace{}, ing.cur.traces...), batchTraces...)
+
+	dopts := ing.copts
+	dopts.Checkpoint = ing.ckptConfig(newLineage, false)
+	mg, err := core.BuildGraphContext(ing.ctx, merged, ing.resolver, ing.aliases, ing.rels, dopts)
+	if err != nil {
+		return fmt.Errorf("bdrmapit: ingest: %w", err)
+	}
+	res, err := core.RunDeltaContext(ing.ctx, mg, ing.cur.graph, ing.cur.state, ing.rels, dopts)
+	if err != nil {
+		return fmt.Errorf("bdrmapit: ingest: absorbing %s: %w", name, err)
+	}
+	if res.Interrupted {
+		return errInterrupted
+	}
+	phase.Note("iterations", int64(res.Iterations))
+
+	if ing.opts.VerifyDelta {
+		if err := ing.verifyDelta(merged, res); err != nil {
+			return fmt.Errorf("bdrmapit: ingest: batch %s: %w", name, err)
+		}
+	}
+	annDigest, err := ing.publish(res)
+	if err != nil {
+		return err
+	}
+	if err := ing.adoptState(res, newLineage); err != nil {
+		return err
+	}
+	ing.cur.traces = merged
+	if err := ing.store.MarkApplied(fp, name, annDigest); err != nil {
+		return err
+	}
+	ing.rec.Counter("ingest.absorbed").Inc()
+	ing.rec.Histogram("ingest.batch_traces").Observe(int64(len(batchTraces)))
+	ing.rec.Logf("ingest: absorbed batch %s (fp %016x): %d traces, %d iteration(s)",
+		name, fp, len(batchTraces), res.Iterations)
+	ing.out.Absorbed++
+	ing.out.Outcomes = append(ing.out.Outcomes, BatchOutcome{
+		Name: name, FP: fp, Decision: decision.String(),
+		Traces: len(batchTraces), Iterations: res.Iterations,
+	})
+	return nil
+}
+
+// verifyDelta is the equivalence oracle: a from-scratch run over the
+// merged corpus at workers 1, 4, and 8 must render byte-identical
+// annotations to the delta result. It is expensive by design — the
+// point is proof, not speed — and any divergence fails the batch
+// before it can be marked applied.
+func (ing *ingester) verifyDelta(merged []*traceroute.Trace, deltaRes *core.Result) error {
+	want, err := annotationsDigest(deltaRes, ing.resolver)
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{1, 4, 8} {
+		vopts := ing.copts
+		vopts.Workers = workers
+		vopts.Checkpoint = nil
+		g, err := core.BuildGraphContext(ing.ctx, merged, ing.resolver, ing.aliases, ing.rels, vopts)
+		if err != nil {
+			return err
+		}
+		vres, err := core.RunContext(ing.ctx, g, ing.rels, vopts)
+		if err != nil {
+			return err
+		}
+		if vres.Interrupted {
+			return errInterrupted
+		}
+		got, err := annotationsDigest(vres, ing.resolver)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("delta≡full equivalence violated at workers=%d: delta annotations digest %016x, from-scratch %016x (iterations %d vs %d)",
+				workers, want, got, deltaRes.Iterations, vres.Iterations)
+		}
+	}
+	ing.rec.Logf("ingest: verify-delta: byte-identical to from-scratch merged run at workers 1, 4, 8")
+	return nil
+}
+
+// publish renders the committed state's artifacts: the annotations
+// file, the serving snapshot, and the daemon reload. Files are
+// published atomically; the reload retries 409/503 with jittered
+// backoff and degrades to a loud warning when the daemon stays
+// unreachable (its files are already on disk).
+func (ing *ingester) publish(res *core.Result) (uint64, error) {
+	r := &Result{
+		res: res, resolver: ing.resolver,
+		Iterations: res.Iterations, Converged: res.Converged,
+		Interrupted: res.Interrupted, Report: res.Report,
+	}
+	annDigest, err := annotationsDigest(res, ing.resolver)
+	if err != nil {
+		return 0, err
+	}
+	if p := ing.opts.AnnotationsPath; p != "" {
+		if err := ckpt.AtomicWrite(p, r.Annotations); err != nil {
+			return 0, fmt.Errorf("bdrmapit: ingest: publishing annotations: %w", err)
+		}
+	}
+	if p := ing.opts.SnapshotPath; p != "" {
+		if err := r.WriteServeSnapshot(p); err != nil {
+			return 0, fmt.Errorf("bdrmapit: ingest: publishing snapshot: %w", err)
+		}
+	}
+	if addr := ing.opts.ReloadAddr; addr != "" {
+		client := &serve.ReloadClient{
+			Addr: addr, Attempts: ing.opts.RetryAttempts,
+			Base: ing.opts.RetryBase, Max: ing.opts.RetryMax,
+			Seed: annDigest,
+			OnRetry: func(attempt int, cause string, backoff time.Duration) {
+				ing.rec.Counter("ingest.retried").Inc()
+				ing.rec.Logf("ingest: reload attempt %d refused (%s); retrying in %v", attempt, cause, backoff)
+			},
+		}
+		if gen, err := client.Reload(ing.ctx); err != nil {
+			ing.rec.Counter("ingest.reload_failed").Inc()
+			ing.rec.Warnf("ingest: daemon reload failed (published files are durable): %v", err)
+			fmt.Fprintf(ing.warnw, "bdrmapit: WARNING: ingest: daemon reload failed (published files are durable): %v\n", err)
+		} else {
+			ing.rec.Logf("ingest: daemon reloaded snapshot generation %d", gen)
+		}
+	}
+	return annDigest, nil
+}
+
+// quarantine parks a refused batch and accounts it, never failing the
+// session for a poison batch: the next batch proceeds.
+func (ing *ingester) quarantine(ref *delta.Refusal, data []byte) error {
+	if err := ing.store.Quarantine(ref, data); err != nil {
+		return err
+	}
+	ing.rec.Counter("ingest.quarantined").Inc()
+	ing.rec.Warnf("ingest: %v", ref)
+	fmt.Fprintf(ing.warnw, "bdrmapit: WARNING: %v\n", ref)
+	ing.out.Quarantined++
+	ing.out.Outcomes = append(ing.out.Outcomes, BatchOutcome{
+		Name: ref.Batch, FP: ref.FP, Decision: delta.Poison.String(),
+		Quarantined: true, Reason: ref.Class.String(),
+	})
+	return nil
+}
+
+func (ing *ingester) recordOutcome(o BatchOutcome) {
+	ing.rec.Counter("ingest.absorbed").Inc()
+	ing.out.Absorbed++
+	ing.out.Outcomes = append(ing.out.Outcomes, o)
+}
+
+// readWithRetry reads a file through the bounded-retry envelope,
+// counting each retry in ingest.retried.
+func (ing *ingester) readWithRetry(path string, seed uint64) ([]byte, error) {
+	var data []byte
+	r := &delta.Retrier{
+		Attempts: ing.opts.RetryAttempts,
+		Base:     ing.opts.RetryBase,
+		Max:      ing.opts.RetryMax,
+		Seed:     seed,
+		OnRetry: func(attempt int, err error, backoff time.Duration) {
+			ing.rec.Counter("ingest.retried").Inc()
+			ing.rec.Logf("ingest: read %s attempt %d failed (%v); retrying in %v", path, attempt, err, backoff)
+		},
+	}
+	err := r.Do(func() error {
+		var rerr error
+		data, rerr = os.ReadFile(path)
+		return rerr
+	})
+	return data, err
+}
+
+// ckptConfig builds the checkpoint config for a given lineage: the
+// input digest covers the base sources plus every absorbed batch, so a
+// checkpoint can never be resumed against a different corpus.
+func (ing *ingester) ckptConfig(lineage []ckpt.BatchInfo, resume bool) *ckpt.Config {
+	return &ckpt.Config{
+		Dir:         ing.store.Dir,
+		Every:       ing.opts.Run.CheckpointEvery,
+		Resume:      resume,
+		InputDigest: ingestDigest(ing.baseDig, lineage),
+		Lineage:     lineage,
+	}
+}
+
+// ingestDigest extends the base-source digest with the absorbed
+// lineage, in order: same base + same batches ⇒ same digest.
+func ingestDigest(baseDig uint64, lineage []ckpt.BatchInfo) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	putU64(baseDig)
+	for _, b := range lineage {
+		putU64(b.FP)
+		io.WriteString(h, b.Name)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func lineageHas(lineage []ckpt.BatchInfo, fp uint64) bool {
+	for _, b := range lineage {
+		if b.FP == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// annotationsDigest is the FNV-64a of the exact bytes Annotations
+// would render — the same digest ServeSnapshot records, tying the
+// journal's applied records to the published artifacts.
+func annotationsDigest(res *core.Result, resolver *ip2as.Resolver) (uint64, error) {
+	r := &Result{res: res, resolver: resolver, Interrupted: res.Interrupted, Iterations: res.Iterations}
+	h := fnv.New64a()
+	if err := r.Annotations(h); err != nil {
+		return 0, fmt.Errorf("bdrmapit: ingest: digesting annotations: %w", err)
+	}
+	return h.Sum64(), nil
+}
+
+func fnvString(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return h.Sum64()
+}

@@ -1,0 +1,245 @@
+package bdrmapit
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/simnet"
+)
+
+// splitCorpus carves the topology's traceroute archive into a base
+// corpus and three batch files, plus the merged archive a from-scratch
+// oracle run consumes. The split is by line, so every piece is a valid
+// JSONL file and base+batches concatenated is byte-identical to the
+// merged archive.
+func splitCorpus(t *testing.T, tracePath, dir string) (base string, batches []string, merged string) {
+	t.Helper()
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimRight(string(data), "\n")+"\n", "\n")
+	lines = lines[:len(lines)-1] // SplitAfter leaves a trailing ""
+	if len(lines) < 10 {
+		t.Fatalf("corpus too small to split: %d lines", len(lines))
+	}
+	cut := len(lines) * 3 / 5
+	parts := [][]string{lines[:cut]}
+	rest := lines[cut:]
+	third := (len(rest) + 2) / 3
+	for len(rest) > 0 {
+		n := third
+		if n > len(rest) {
+			n = len(rest)
+		}
+		parts = append(parts, rest[:n])
+		rest = rest[n:]
+	}
+	for len(parts) < 4 {
+		t.Fatalf("split produced %d parts", len(parts))
+	}
+	names := []string{"base.jsonl", "batch-1.jsonl", "batch-2.jsonl", "batch-3.jsonl"}
+	paths := make([]string, len(names))
+	for i, name := range names {
+		paths[i] = filepath.Join(dir, name)
+		if err := os.WriteFile(paths[i], []byte(strings.Join(parts[i], "")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged = filepath.Join(dir, "merged.jsonl")
+	if err := os.WriteFile(merged, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return paths[0], paths[1:], merged
+}
+
+// TestIngestSession is the Go-API continuous-ingest end-to-end: absorb
+// three good batches and one poison batch with the equivalence oracle
+// armed, prove the published annotations byte-identical to a
+// from-scratch run over the merged corpus, then prove re-offers are
+// idempotent and replayed content under a new name is quarantined
+// without disturbing the victim's applied state.
+func TestIngestSession(t *testing.T) {
+	p := writeTopology(t, simnet.Options{Small: true, Seed: 42})
+	dir := t.TempDir()
+	base, batches, merged := splitCorpus(t, p.Traceroutes, dir)
+	poison := filepath.Join(dir, "poison.jsonl")
+	if err := os.WriteFile(poison, []byte("this is not a traceroute record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src := topoSources(p)
+	src.TraceroutePaths = []string{base}
+	stateDir := filepath.Join(dir, "state")
+	annOut := filepath.Join(dir, "annotations.txt")
+	opts := IngestOptions{
+		StateDir:        stateDir,
+		AnnotationsPath: annOut,
+		VerifyDelta:     true,
+		Run:             Options{Workers: 4, WarnWriter: io.Discard},
+	}
+	offer := []string{batches[0], batches[1], poison, batches[2]}
+
+	res, err := Ingest(src, offer, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("uninterrupted session reports Interrupted")
+	}
+	if res.Absorbed != 3 || res.Skipped != 0 || res.Quarantined != 1 {
+		t.Fatalf("absorbed=%d skipped=%d quarantined=%d, want 3/0/1",
+			res.Absorbed, res.Skipped, res.Quarantined)
+	}
+	wantDecisions := []string{"absorb", "absorb", "poison", "absorb"}
+	if len(res.Outcomes) != len(wantDecisions) {
+		t.Fatalf("outcomes = %d, want %d", len(res.Outcomes), len(wantDecisions))
+	}
+	for i, o := range res.Outcomes {
+		if o.Decision != wantDecisions[i] {
+			t.Errorf("outcome %d (%s): decision %q, want %q", i, o.Name, o.Decision, wantDecisions[i])
+		}
+	}
+	if o := res.Outcomes[2]; !o.Quarantined || o.Reason != "decode" {
+		t.Errorf("poison outcome = %+v, want quarantined with reason decode", o)
+	}
+
+	// The quarantine directory holds exactly the poison batch: its
+	// bytes and a typed reason file.
+	qdir := filepath.Join(stateDir, delta.QuarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons, copies int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".reason":
+			reasons++
+			data, err := os.ReadFile(filepath.Join(qdir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), "class: decode") ||
+				!strings.Contains(string(data), "batch: poison.jsonl") {
+				t.Errorf("reason file:\n%s", data)
+			}
+		case ".jsonl":
+			copies++
+		}
+	}
+	if reasons != 1 || copies != 1 {
+		t.Fatalf("quarantine dir holds %d reasons, %d copies; want 1 and 1", reasons, copies)
+	}
+
+	// Equivalence oracle at the session level: the published
+	// annotations match a from-scratch run over the merged corpus.
+	oracleSrc := topoSources(p)
+	oracleSrc.TraceroutePaths = []string{merged}
+	oracle, err := Run(oracleSrc, Options{Workers: 1, WarnWriter: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := annotationBytes(t, oracle)
+	got, err := os.ReadFile(annOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ingested annotations differ from from-scratch run on the merged corpus")
+	}
+
+	// Re-offering the same batches is free: everything skips, the
+	// quarantined batch stays quarantined, and the output is unchanged.
+	again, err := Ingest(src, offer, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Absorbed != 0 || again.Skipped != 4 || again.Quarantined != 0 {
+		t.Fatalf("re-offer: absorbed=%d skipped=%d quarantined=%d, want 0/4/0",
+			again.Absorbed, again.Skipped, again.Quarantined)
+	}
+	for i, wantD := range []string{"skip", "skip", "skip-quarantined", "skip"} {
+		if got := again.Outcomes[i].Decision; got != wantD {
+			t.Errorf("re-offer outcome %d: %q, want %q", i, got, wantD)
+		}
+	}
+	got2, err := os.ReadFile(annOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatal("re-offer session changed the published annotations")
+	}
+
+	// Replay: batch-1's exact bytes under a new name are poison. The
+	// impostor is quarantined under a name-derived fingerprint, and the
+	// victim's applied state is untouched — re-offering the real
+	// batch-1 still skips as applied.
+	b1, err := os.ReadFile(batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sneaky := filepath.Join(dir, "sneaky.jsonl")
+	if err := os.WriteFile(sneaky, b1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Ingest(src, []string{sneaky, batches[0]}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Quarantined != 1 || replay.Skipped != 1 {
+		t.Fatalf("replay: quarantined=%d skipped=%d, want 1/1", replay.Quarantined, replay.Skipped)
+	}
+	if o := replay.Outcomes[0]; o.Decision != "poison" || o.Reason != "replay" {
+		t.Errorf("replay outcome = %+v, want poison/replay", o)
+	}
+	if o := replay.Outcomes[1]; o.Decision != "skip" || o.Quarantined {
+		t.Errorf("victim outcome after replay = %+v, want clean skip", o)
+	}
+
+	// A re-offered replay skips without re-journaling.
+	replay2, err := Ingest(src, []string{sneaky}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := replay2.Outcomes[0]; o.Decision != "skip-quarantined" {
+		t.Errorf("re-offered replay = %+v, want skip-quarantined", o)
+	}
+
+	// The published annotations never moved through any of it.
+	got3, err := os.ReadFile(annOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got3, want) {
+		t.Fatal("replay sessions changed the published annotations")
+	}
+}
+
+// TestIngestRefusals covers the session-level guard rails: a missing
+// state directory, a missing base corpus, and provenance collection
+// (meaningless under delta refinement) are refused up front.
+func TestIngestRefusals(t *testing.T) {
+	p := writeTopology(t, simnet.Options{Small: true, Seed: 42})
+	src := topoSources(p)
+	if _, err := Ingest(src, nil, IngestOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "StateDir") {
+		t.Errorf("missing StateDir: %v", err)
+	}
+	if _, err := Ingest(Sources{}, nil, IngestOptions{StateDir: t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "traceroute") {
+		t.Errorf("missing base corpus: %v", err)
+	}
+	if _, err := Ingest(src, nil, IngestOptions{
+		StateDir: t.TempDir(),
+		Run:      Options{Provenance: true},
+	}); err == nil || !strings.Contains(err.Error(), "provenance") {
+		t.Errorf("provenance under delta: %v", err)
+	}
+}

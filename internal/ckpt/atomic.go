@@ -16,6 +16,13 @@ import (
 // file or the complete new one — never a prefix, and never a file that
 // the rename published but a power loss could un-publish.
 //
+// TestWriteWrap, when non-nil, wraps the raw file handle every durable
+// write path (AtomicWrite temp files, journal appends) streams into.
+// The fault-injection tests install writers that fail with ENOSPC or
+// cut a write short to prove no failure mode leaves a torn published
+// file; production runs never set it.
+var TestWriteWrap func(w io.Writer) io.Writer
+
 // Every output the pipeline writes — checkpoints, annotations, links,
 // ITDK files, JSON reports — goes through this helper, so "no torn
 // output file is ever observed after a kill" is a single invariant in a
@@ -28,7 +35,11 @@ func AtomicWrite(path string, fill func(w io.Writer) error) error {
 		return fmt.Errorf("creating temp file for %s: %w", path, err)
 	}
 	tmp := f.Name()
-	bw := bufio.NewWriter(f)
+	var fw io.Writer = f
+	if TestWriteWrap != nil {
+		fw = TestWriteWrap(fw)
+	}
+	bw := bufio.NewWriter(fw)
 	if err := fill(bw); err != nil {
 		_ = f.Close()
 		_ = os.Remove(tmp)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -43,11 +44,19 @@ import (
 // state is always at this name.
 const FileName = "refine.ckpt"
 
-// Version is the current checkpoint format version. Decode refuses any
-// other value: resuming across format revisions silently reinterpreting
-// bytes would be worse than restarting the run. Version 2 added the
-// optional provenance blob (HasProv/Prov).
-const Version = 2
+// Version is the current checkpoint format version. Version 2 added the
+// optional provenance blob (HasProv/Prov); version 3 appended the
+// per-iteration refinement history and the batch lineage that delta
+// ingest replays. Decode also accepts legacyVersion (2) files — their
+// payload is a strict prefix of version 3's — so plain resume keeps
+// working across the upgrade; anything older or newer is refused rather
+// than silently reinterpreting bytes.
+const Version = 3
+
+// legacyVersion is the oldest checkpoint format Decode still reads.
+// Legacy snapshots carry no History/Lineage; State.FormatVersion lets
+// consumers that need those sections (delta ingest) refuse actionably.
+const legacyVersion = 2
 
 // magic identifies a bdrmapIT checkpoint file (8 bytes).
 const magic = "BMITCKPT"
@@ -84,6 +93,36 @@ type Config struct {
 	// contents). Stored in each snapshot and checked on resume, so a
 	// checkpoint can never be applied to a different dataset.
 	InputDigest uint64
+	// Lineage, when non-empty, is stamped into every snapshot: the
+	// ordered trace batches delta ingest has already absorbed on top of
+	// the base corpus. Full (non-ingest) runs leave it nil.
+	Lineage []BatchInfo
+}
+
+// AnnChange is one annotation flip inside a refinement iteration: the
+// entity at Idx (router ID, or sorted-interface-address position)
+// committed annotation Ann. A sequence of per-iteration change sets is
+// the refinement trajectory delta ingest replays onto the untouched
+// part of a grown graph.
+type AnnChange struct {
+	Idx uint32
+	Ann uint32
+}
+
+// IterDelta is the complete change set of one committed refinement
+// iteration, routers and interfaces separately, each ordered by index.
+type IterDelta struct {
+	Routers []AnnChange
+	Ifaces  []AnnChange
+}
+
+// BatchInfo identifies one absorbed trace batch in a checkpoint's
+// lineage: its content fingerprint, its original base name, and how
+// many traces it contributed.
+type BatchInfo struct {
+	FP     uint64
+	Name   string
+	Traces int
 }
 
 // IterHash is one cycle-detector history entry: the annotation-state
@@ -137,6 +176,52 @@ type State struct {
 	// reconstructed byte-identically.
 	HasProv bool
 	Prov    []byte
+
+	// FormatVersion is the on-disk format the snapshot was decoded from
+	// (legacyVersion or Version). Encode always writes the current
+	// version; the field exists so history consumers can tell a legacy
+	// snapshot from a current one and refuse with an actionable message.
+	FormatVersion int
+	// History holds each committed iteration's change set: History[k]
+	// is iteration k+1. Complete (len == Iteration) on snapshots whose
+	// entire run recorded history; shorter when the run resumed from a
+	// legacy snapshot. Delta ingest requires a complete history —
+	// RequireHistory checks.
+	History []IterDelta
+	// Lineage is Config.Lineage at snapshot time: the absorbed trace
+	// batches, in application order, whose traces are part of this
+	// snapshot's input set beyond the base corpus.
+	Lineage []BatchInfo
+}
+
+// HistoryError reports a snapshot that is valid for plain resume but
+// unusable as a delta-ingest base: it carries no refinement history, or
+// an incomplete one. The fix is always the same — rerun the full
+// pipeline under this build so a complete version-3 snapshot exists.
+type HistoryError struct {
+	FormatVersion int
+	Iteration     int
+	HistoryLen    int
+}
+
+func (e *HistoryError) Error() string {
+	if e.FormatVersion < Version {
+		return fmt.Sprintf("ckpt: checkpoint was written in format version %d, which records no refinement history; delta ingest needs a complete version-%d checkpoint — rerun the full pipeline with this build to produce one",
+			e.FormatVersion, Version)
+	}
+	return fmt.Sprintf("ckpt: checkpoint history covers %d of %d iterations (the run that wrote it resumed from a pre-history snapshot); delta ingest needs a complete history — rerun the full pipeline with this build to produce one",
+		e.HistoryLen, e.Iteration)
+}
+
+// RequireHistory verifies the snapshot carries the complete refinement
+// trajectory delta ingest replays: one change set per committed
+// iteration. Legacy and partially-resumed snapshots return a typed
+// *HistoryError directing the operator to a full rerun.
+func (st *State) RequireHistory() error {
+	if st.FormatVersion < Version || len(st.History) != st.Iteration {
+		return &HistoryError{FormatVersion: st.FormatVersion, Iteration: st.Iteration, HistoryLen: len(st.History)}
+	}
+	return nil
 }
 
 // MismatchError reports a checkpoint that cannot be applied to this
@@ -221,6 +306,35 @@ func appendPayload(p []byte, st *State) []byte {
 	}
 	p = binary.AppendUvarint(p, uint64(len(st.Prov)))
 	p = append(p, st.Prov...)
+	// Everything beyond this point is the version-3 extension; a
+	// legacyVersion payload ends exactly here.
+	p = binary.AppendUvarint(p, uint64(len(st.History)))
+	for _, it := range st.History {
+		p = appendChanges(p, it.Routers)
+		p = appendChanges(p, it.Ifaces)
+	}
+	p = binary.AppendUvarint(p, uint64(len(st.Lineage)))
+	for _, b := range st.Lineage {
+		p = binary.LittleEndian.AppendUint64(p, b.FP)
+		p = binary.AppendUvarint(p, uint64(len(b.Name)))
+		p = append(p, b.Name...)
+		p = binary.AppendUvarint(p, uint64(b.Traces))
+	}
+	return p
+}
+
+// appendChanges serializes one ordered change set. Indices are written
+// as deltas from their predecessor: change sets are index-sorted, and
+// on large graphs the gap varints stay short where absolute indices
+// would not.
+func appendChanges(p []byte, cs []AnnChange) []byte {
+	p = binary.AppendUvarint(p, uint64(len(cs)))
+	prev := uint32(0)
+	for _, c := range cs {
+		p = binary.AppendUvarint(p, uint64(c.Idx-prev))
+		p = binary.AppendUvarint(p, uint64(c.Ann))
+		prev = c.Idx
+	}
 	return p
 }
 
@@ -233,7 +347,7 @@ func Decode(r io.Reader) (*State, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: reading checkpoint: %w", err)
 	}
-	payload, err := ReadFrame(data, magic, Version, "bdrmapIT checkpoint")
+	payload, version, err := ReadFrameRange(data, magic, legacyVersion, Version, "bdrmapIT checkpoint")
 	if err != nil {
 		var fe *FrameError
 		if errors.As(err, &fe) {
@@ -279,6 +393,26 @@ func Decode(r io.Reader) (*State, error) {
 	st.HasProv = d.u8() != 0
 	n = d.count("provenance blob length")
 	st.Prov = d.bytes(n, "provenance blob")
+	st.FormatVersion = int(version)
+	if version >= Version {
+		n = d.count("history length")
+		d.checkLen(n, 2, "history iterations")
+		for i := 0; i < n && d.err == nil; i++ {
+			st.History = append(st.History, IterDelta{
+				Routers: d.changes("router history"),
+				Ifaces:  d.changes("interface history"),
+			})
+		}
+		n = d.count("lineage length")
+		d.checkLen(n, 10, "lineage batches")
+		for i := 0; i < n && d.err == nil; i++ {
+			st.Lineage = append(st.Lineage, BatchInfo{
+				FP:     d.u64(),
+				Name:   d.str(),
+				Traces: d.intv("lineage batch trace count"),
+			})
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -365,6 +499,18 @@ func (d *decoder) count(what string) int {
 	return int(v)
 }
 
+// intv reads a non-negative integer that must fit an int. Unlike count
+// it carries no payload-size plausibility bound: the value is data (a
+// trace tally), not an element count driving an allocation.
+func (d *decoder) intv(what string) int {
+	v := d.uvarint(what)
+	if v > math.MaxInt {
+		d.fail(what + " overflows int")
+		return 0
+	}
+	return int(v)
+}
+
 // u32v reads a uvarint that must fit a uint32 (an AS number).
 func (d *decoder) u32v(what string) uint32 {
 	v := d.uvarint(what)
@@ -373,6 +519,23 @@ func (d *decoder) u32v(what string) uint32 {
 		return 0
 	}
 	return uint32(v)
+}
+
+// changes reads one ordered change set (gap-encoded indices).
+func (d *decoder) changes(what string) []AnnChange {
+	n := d.count(what + " length")
+	d.checkLen(n, 2, what)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	cs := make([]AnnChange, 0, n)
+	prev := uint32(0)
+	for i := 0; i < n && d.err == nil; i++ {
+		idx := prev + d.u32v(what+" index gap")
+		cs = append(cs, AnnChange{Idx: idx, Ann: d.u32v(what + " annotation")})
+		prev = idx
+	}
+	return cs
 }
 
 // checkLen rejects a declared element count whose minimum encoding

@@ -70,8 +70,19 @@ func WriteFrame(w io.Writer, magic string, version byte, payload []byte) error {
 // structural violation returns a *FrameError carrying kind; ReadFrame
 // never panics on corrupt input.
 func ReadFrame(data []byte, magic string, version byte, kind string) ([]byte, error) {
-	fail := func(reason string) ([]byte, error) {
-		return nil, &FrameError{Kind: kind, Reason: reason}
+	payload, _, err := ReadFrameRange(data, magic, version, version, kind)
+	return payload, err
+}
+
+// ReadFrameRange is ReadFrame for formats that stay readable across
+// revisions: it accepts any version in [minVersion, maxVersion] and
+// returns which one the file carries, so the caller can branch its
+// payload decoding. Single-version formats keep using ReadFrame; the
+// checkpoint reader uses the range form to load legacy (pre-history)
+// snapshots alongside current ones.
+func ReadFrameRange(data []byte, magic string, minVersion, maxVersion byte, kind string) ([]byte, byte, error) {
+	fail := func(reason string) ([]byte, byte, error) {
+		return nil, 0, &FrameError{Kind: kind, Reason: reason}
 	}
 	headLen := len(magic) + 1 + 4
 	if len(data) < headLen+4 {
@@ -80,8 +91,12 @@ func ReadFrame(data []byte, magic string, version byte, kind string) ([]byte, er
 	if string(data[:len(magic)]) != magic {
 		return fail(fmt.Sprintf("bad magic (not a %s)", kind))
 	}
-	if v := data[len(magic)]; v != version {
-		return fail(fmt.Sprintf("unsupported format version %d (this build reads version %d)", v, version))
+	version := data[len(magic)]
+	if version < minVersion || version > maxVersion {
+		if minVersion == maxVersion {
+			return fail(fmt.Sprintf("unsupported format version %d (this build reads version %d)", version, minVersion))
+		}
+		return fail(fmt.Sprintf("unsupported format version %d (this build reads versions %d through %d)", version, minVersion, maxVersion))
 	}
 	plen := binary.LittleEndian.Uint32(data[len(magic)+1:])
 	if uint64(len(data)) != uint64(headLen)+uint64(plen)+4 {
@@ -92,7 +107,7 @@ func ReadFrame(data []byte, magic string, version byte, kind string) ([]byte, er
 	if got := crc32.ChecksumIEEE(body); got != wantCRC {
 		return fail(fmt.Sprintf("checksum mismatch (stored %#x, computed %#x)", wantCRC, got))
 	}
-	return data[headLen : len(data)-4], nil
+	return data[headLen : len(data)-4], version, nil
 }
 
 // ReadFrameFile reads path fully and validates its envelope, returning

@@ -78,6 +78,12 @@ type ckptRunner struct {
 	gDig  uint64
 	rec   *obs.Recorder
 	prov  bool
+	// hist accumulates each committed iteration's change set — the
+	// refinement trajectory delta ingest later replays. Restored from the
+	// snapshot on resume so the recorded history always starts at
+	// iteration 1; a resume from a pre-history (v2) snapshot leaves the
+	// early iterations missing, which RequireHistory detects downstream.
+	hist []ckpt.IterDelta
 }
 
 func newCkptRunner(cfg *ckpt.Config, opts *Options, g *Graph) *ckptRunner {
@@ -153,7 +159,22 @@ func (c *ckptRunner) restore(g *Graph, st *ckpt.State, cycles *cycleDetector, re
 	res.Iterations = st.Iteration
 	res.Converged = st.Converged
 	res.CycleLength = st.CycleLength
+	c.hist = st.History
 	return nil
+}
+
+// appendHistory commits one iteration's change set: the per-shard lists
+// are concatenated in shard order, which is ascending index order
+// because shards partition the index space contiguously.
+func (c *ckptRunner) appendHistory(histR, histI [][]ckpt.AnnChange) {
+	var it ckpt.IterDelta
+	for _, cs := range histR {
+		it.Routers = append(it.Routers, cs...)
+	}
+	for _, cs := range histI {
+		it.Ifaces = append(it.Ifaces, cs...)
+	}
+	c.hist = append(c.hist, it)
 }
 
 // save captures the just-committed iteration and publishes it
@@ -186,6 +207,8 @@ func (c *ckptRunner) save(g *Graph, res *Result, cycles *cycleDetector, traceRow
 		st.HasProv = true
 		st.Prov = prov.EncodeState(pc.routers, pc.ifaces)
 	}
+	st.History = c.hist
+	st.Lineage = c.cfg.Lineage
 	return ckpt.Save(c.cfg.Dir, st, c.rec)
 }
 

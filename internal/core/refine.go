@@ -468,6 +468,15 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		}
 		changed = make([][]int, len(routerScratch))
 	}
+	// Checkpointed runs also record each iteration's change set (the
+	// refinement history delta ingest replays). Collection is per-shard —
+	// shard s writes only histR[s]/histI[s] — and independent of
+	// reference mode, since both paths commit identical states.
+	var histR, histI [][]ckpt.AnnChange
+	if ckr != nil {
+		histR = make([][]ckpt.AnnChange, len(shard.Bounds(len(g.Routers), opts.Workers)))
+		histI = make([][]ckpt.AnnChange, len(shard.Bounds(len(g.sortedAddrs), opts.Workers)))
+	}
 	// fullSnapshot forces step 1 to copy every router's annotation. Once
 	// an iteration commits in full, every router outside its changed set
 	// already satisfies prevAnnotation == Annotation, so subsequent
@@ -517,9 +526,13 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 			var local iterTally
 			var sc *voteScratch
 			var chg []int
+			var hr []ckpt.AnnChange
 			if !reference {
 				sc = routerScratch[s]
 				chg = changed[s][:0]
+			}
+			if histR != nil {
+				hr = histR[s][:0]
 			}
 			for idx := lo; idx < hi; idx++ {
 				r := g.Routers[idx]
@@ -539,10 +552,16 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 					if !reference {
 						chg = append(chg, idx)
 					}
+					if histR != nil {
+						hr = append(hr, ckpt.AnnChange{Idx: uint32(idx), Ann: uint32(r.Annotation)})
+					}
 				}
 			}
 			if !reference {
 				changed[s] = chg
+			}
+			if histR != nil {
+				histR[s] = hr
 			}
 			if collect {
 				mu.Lock()
@@ -561,8 +580,12 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		if !shard.ForShardsTimedCtx(ctx, len(g.sortedAddrs), opts.Workers, func(s, lo, hi int) {
 			var flipped int64
 			var sc *voteScratch
+			var hi2 []ckpt.AnnChange
 			if !reference {
 				sc = ifaceScratch[s]
+			}
+			if histI != nil {
+				hi2 = histI[s][:0]
 			}
 			for idx := lo; idx < hi; idx++ {
 				i := g.Interfaces[g.sortedAddrs[idx]]
@@ -574,7 +597,13 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 				annotateInterface(i, rels, sc, pir)
 				if i.Annotation != prev {
 					flipped++
+					if histI != nil {
+						hi2 = append(hi2, ckpt.AnnChange{Idx: uint32(idx), Ann: uint32(i.Annotation)})
+					}
 				}
+			}
+			if histI != nil {
+				histI[s] = hi2
 			}
 			if collect {
 				mu.Lock()
@@ -599,6 +628,9 @@ func RunContext(ctx context.Context, g *Graph, rels RelationshipOracle, opts Opt
 		}
 		res.Iterations = iter
 		fullSnapshot = false
+		if ckr != nil {
+			ckr.appendHistory(histR, histI)
+		}
 		if collect {
 			row := it.row(iter)
 			traceRows = append(traceRows, row)

@@ -180,10 +180,27 @@ func InferContext(ctx context.Context, traces []*traceroute.Trace, resolver *ip2
 	aliases *alias.Sets, rels RelationshipOracle, opts Options) (*Result, error) {
 
 	opts.setDefaults()
+	g, err := BuildGraphContext(ctx, traces, resolver, aliases, rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	return RunContext(ctx, g, rels, opts)
+}
+
+// BuildGraphContext runs phase 1 alone: construct the annotation graph
+// from traces without starting refinement. The ingest path uses it to
+// rebuild base and merged graphs deterministically — the same trace
+// order always yields the same graph, which is what lets a delta run
+// map the base graph's routers into the merged one's. Cancellation
+// returns (nil, ctx.Err()); there is no partial graph to salvage.
+func BuildGraphContext(ctx context.Context, traces []*traceroute.Trace, resolver *ip2as.Resolver,
+	aliases *alias.Sets, rels RelationshipOracle, opts Options) (*Graph, error) {
+
+	opts.setDefaults()
 	rec := opts.Recorder
 	phase := rec.Phase("construct-graph")
+	defer phase.End()
 	if err := ctx.Err(); err != nil {
-		phase.End()
 		return nil, err
 	}
 	b := NewBuilder(resolver, aliases)
@@ -193,19 +210,15 @@ func InferContext(ctx context.Context, traces []*traceroute.Trace, resolver *ip2
 	for i, t := range traces {
 		if i%traceBatch == 0 && i > 0 {
 			if err := ctx.Err(); err != nil {
-				phase.End()
 				return nil, err
 			}
 		}
 		b.AddTrace(t)
 	}
 	if err := ctx.Err(); err != nil {
-		phase.End()
 		return nil, err
 	}
-	g := b.Finish(rels)
-	phase.End()
-	return RunContext(ctx, g, rels, opts)
+	return b.Finish(rels), nil
 }
 
 // distinctAddrs collects every distinct hop and destination address of

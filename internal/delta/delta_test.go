@@ -1,0 +1,259 @@
+package delta
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const goodBatch = `{"type":"trace","dst":"10.0.0.9","stop_reason":"COMPLETED","hops":[{"addr":"10.0.0.1","probe_ttl":1,"icmp_type":11},{"addr":"10.0.0.9","probe_ttl":2,"icmp_type":0}]}
+{"type":"cycle-start"}
+{"type":"trace","dst":"10.0.1.9","stop_reason":"COMPLETED","hops":[{"addr":"10.0.1.1","probe_ttl":1,"icmp_type":11}]}
+`
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFingerprintContentOnly(t *testing.T) {
+	a := Fingerprint([]byte(goodBatch))
+	if a != Fingerprint([]byte(goodBatch)) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == Fingerprint([]byte(goodBatch+"\n{}")) {
+		t.Fatal("different content produced the same fingerprint")
+	}
+}
+
+// TestStoreLifecycle walks one batch through the full state machine
+// across store reopens — the journal, not process memory, must carry
+// every transition.
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fp := Fingerprint([]byte(goodBatch))
+
+	s := openStore(t, dir)
+	if d := s.Decide("b1.jsonl", fp); d != Absorb {
+		t.Fatalf("fresh batch: Decide = %v, want absorb", d)
+	}
+	if err := s.Intent(fp, "b1.jsonl", 2); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Crash after intent: the reopened store must demand a redo.
+	s = openStore(t, dir)
+	if d := s.Decide("b1.jsonl", fp); d != ResumeApply {
+		t.Fatalf("after intent: Decide = %v, want resume-apply", d)
+	}
+	pend := s.Pending()
+	if len(pend) != 1 || pend[0].Name != "b1.jsonl" || pend[0].Traces != 2 {
+		t.Fatalf("Pending = %+v", pend)
+	}
+	if err := s.MarkApplied(fp, "b1.jsonl", 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Re-delivery after apply: idempotent skip under the same name,
+	// poison under any other.
+	s = openStore(t, dir)
+	if d := s.Decide("b1.jsonl", fp); d != Skip {
+		t.Fatalf("applied batch re-delivered: Decide = %v, want skip", d)
+	}
+	if d := s.Decide("sneaky.jsonl", fp); d != Poison {
+		t.Fatalf("applied content under new name: Decide = %v, want poison", d)
+	}
+	app := s.Applied()
+	if len(app) != 1 || app[0].AnnDigest != 0xfeed {
+		t.Fatalf("Applied = %+v", app)
+	}
+	if len(s.Pending()) != 0 {
+		t.Fatalf("Pending after apply = %+v", s.Pending())
+	}
+	st, ok := s.State(fp)
+	if !ok || st.Status != StatusApplied {
+		t.Fatalf("State = %+v, %v", st, ok)
+	}
+}
+
+func TestStoreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("not json at all\n")
+	fp := Fingerprint(data)
+	ref := &Refusal{Class: RefusalDecode, Batch: "bad.jsonl", FP: fp, Err: errors.New("line 1: bad")}
+
+	s := openStore(t, dir)
+	if err := s.Quarantine(ref, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// The quarantine directory holds the bytes and a reason file.
+	got, err := os.ReadFile(filepath.Join(dir, QuarantineDir, s.quarantineBase(fp)+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("quarantined bytes differ: %q", got)
+	}
+	reason, err := os.ReadFile(filepath.Join(dir, QuarantineDir, s.quarantineBase(fp)+".reason"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bad.jsonl", "decode", "line 1: bad"} {
+		if !strings.Contains(string(reason), want) {
+			t.Errorf("reason file missing %q:\n%s", want, reason)
+		}
+	}
+	s.Close()
+
+	// The verdict survives a restart; same name skips, replay poisons.
+	s = openStore(t, dir)
+	if d := s.Decide("bad.jsonl", fp); d != SkipQuarantined {
+		t.Fatalf("quarantined batch re-delivered: Decide = %v, want skip-quarantined", d)
+	}
+	if d := s.Decide("rename.jsonl", fp); d != Poison {
+		t.Fatalf("quarantined content under new name: Decide = %v, want poison", d)
+	}
+	q := s.Quarantined()
+	if len(q) != 1 || q[0].Reason != "decode" {
+		t.Fatalf("Quarantined = %+v", q)
+	}
+}
+
+// TestStorePendingUnderDifferentName: content journaled as pending and
+// re-offered under another name is a replay, not a resume.
+func TestStorePendingUnderDifferentName(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	fp := Fingerprint([]byte(goodBatch))
+	if err := s.Intent(fp, "b1.jsonl", 2); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Decide("b2.jsonl", fp); d != Poison {
+		t.Fatalf("pending content under new name: Decide = %v, want poison", d)
+	}
+}
+
+func TestSaveAbsorbed(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	fp := Fingerprint([]byte(goodBatch))
+	if err := s.SaveAbsorbed(fp, []byte(goodBatch)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(s.AbsorbedPath(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != goodBatch {
+		t.Fatal("absorbed copy differs from batch bytes")
+	}
+}
+
+func TestValidateBatch(t *testing.T) {
+	fp := uint64(7)
+	traces, stats, err := ValidateBatch("b.jsonl", fp, []byte(goodBatch), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 || stats.Traces != 2 || stats.Skipped != 1 {
+		t.Fatalf("traces=%d stats=%+v", len(traces), stats)
+	}
+
+	var ref *Refusal
+	_, _, err = ValidateBatch("b.jsonl", fp, []byte("garbage\n"), 0)
+	if !errors.As(err, &ref) || ref.Class != RefusalDecode || ref.FP != fp {
+		t.Fatalf("garbage batch: %v", err)
+	}
+	_, _, err = ValidateBatch("b.jsonl", fp, nil, 0)
+	if !errors.As(err, &ref) || ref.Class != RefusalDecode {
+		t.Fatalf("empty batch: %v", err)
+	}
+
+	// One bad line inside a one-line budget passes; two blow it.
+	mixed := goodBatch + "garbage\n"
+	traces, stats, err = ValidateBatch("b.jsonl", fp, []byte(mixed), 1)
+	if err != nil || len(traces) != 2 || stats.BadRecords != 1 {
+		t.Fatalf("budgeted batch: traces=%d stats=%+v err=%v", len(traces), stats, err)
+	}
+	_, _, err = ValidateBatch("b.jsonl", fp, []byte(mixed+"more garbage\n"), 1)
+	if !errors.As(err, &ref) || ref.Class != RefusalBudget {
+		t.Fatalf("budget blowout: %v", err)
+	}
+}
+
+// TestRetrierBackoff drives the retrier through a fake clock and pins
+// the backoff contract: bounded attempts, delays in [d/2, d] with d
+// doubling from Base and capped at Max, and a deterministic jitter
+// stream per seed.
+func TestRetrierBackoff(t *testing.T) {
+	run := func(failures int) (sleeps []time.Duration, calls int, err error) {
+		r := &Retrier{
+			Attempts: 4,
+			Base:     100 * time.Millisecond,
+			Max:      300 * time.Millisecond,
+			Seed:     42,
+			Sleep:    func(d time.Duration) { sleeps = append(sleeps, d) },
+		}
+		err = r.Do(func() error {
+			calls++
+			if calls <= failures {
+				return errors.New("transient")
+			}
+			return nil
+		})
+		return sleeps, calls, err
+	}
+
+	sleeps, calls, err := run(2)
+	if err != nil || calls != 3 || len(sleeps) != 2 {
+		t.Fatalf("recovering op: calls=%d sleeps=%d err=%v", calls, len(sleeps), err)
+	}
+	for i, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		if sleeps[i] < want/2 || sleeps[i] > want {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, sleeps[i], want/2, want)
+		}
+	}
+
+	// Same seed, same stream: the schedule is reproducible.
+	again, _, _ := run(2)
+	for i := range sleeps {
+		if sleeps[i] != again[i] {
+			t.Errorf("jitter not deterministic: run1[%d]=%v run2[%d]=%v", i, sleeps[i], i, again[i])
+		}
+	}
+
+	// Exhaustion returns the final error; the last failure does not sleep.
+	sleeps, calls, err = run(10)
+	if err == nil || calls != 4 || len(sleeps) != 3 {
+		t.Fatalf("exhausted op: calls=%d sleeps=%d err=%v", calls, len(sleeps), err)
+	}
+	// The third backoff doubles past Max and must be capped by it.
+	if cap := 300 * time.Millisecond; sleeps[2] < cap/2 || sleeps[2] > cap {
+		t.Errorf("capped sleep = %v, want within [%v, %v]", sleeps[2], cap/2, cap)
+	}
+}
+
+func TestRetrierOnRetry(t *testing.T) {
+	var seen []int
+	r := &Retrier{
+		Attempts: 3,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(attempt int, err error, backoff time.Duration) { seen = append(seen, attempt) },
+	}
+	boom := errors.New("boom")
+	if err := r.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v", err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v", seen)
+	}
+}

@@ -141,6 +141,59 @@ func (f *faultReader) corrupt(buf []byte) {
 	}
 }
 
+// ErrNoSpace is the error surfaced by write-side faults: the shape of
+// ENOSPC (or a quota hit) surfacing mid-write. Durability tests assert
+// it propagates and, crucially, that no torn or half-renamed file was
+// published on the way out.
+var ErrNoSpace = errors.New("faultio: injected write error (no space left on device)")
+
+// ErrWriterAt returns a writer that accepts bytes until offset n and
+// then fails every subsequent Write with ErrNoSpace — a disk filling up
+// partway through a checkpoint or journal append.
+func ErrWriterAt(w io.Writer, n int64) io.Writer {
+	return &faultWriter{w: w, limit: n}
+}
+
+// ShortWriter returns a writer that, at offset n, writes only part of
+// the offered buffer through before failing with ErrNoSpace — the
+// worst-case ENOSPC shape where the kernel commits a prefix of the
+// write and errors the rest. Callers that treat a short write as
+// success publish torn files; this fault catches them.
+func ShortWriter(w io.Writer, n int64) io.Writer {
+	return &faultWriter{w: w, limit: n, partial: true}
+}
+
+// faultWriter implements the write-side faults: a byte budget, with the
+// boundary write either rejected whole (ErrWriterAt) or committed
+// partially (ShortWriter).
+type faultWriter struct {
+	w       io.Writer
+	pos     int64
+	limit   int64
+	partial bool
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	remain := f.limit - f.pos
+	if remain <= 0 {
+		return 0, ErrNoSpace
+	}
+	if int64(len(p)) <= remain {
+		n, err := f.w.Write(p)
+		f.pos += int64(n)
+		return n, err
+	}
+	if !f.partial {
+		return 0, ErrNoSpace
+	}
+	n, err := f.w.Write(p[:remain])
+	f.pos += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, ErrNoSpace
+}
+
 // Case is one entry of the standard fault matrix.
 type Case struct {
 	// Name identifies the fault for test output (e.g. "truncate@13").

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ReloadClient triggers a daemon's POST /-/reload and absorbs the two
+// refusals a healthy deployment produces in the normal course of
+// publishing: 409 (the new snapshot is mid-publish and the daemon kept
+// the old one serving) and 503 (admission control shed the request).
+// Both are transient by design — the publisher's atomic rename lands,
+// the in-flight burst drains — so the client retries with bounded
+// attempts and jittered exponential backoff instead of failing the
+// whole ingest cycle on a race it can simply outwait. Transport errors
+// (daemon restarting, listener not up yet) retry the same way; any
+// other HTTP status is a real refusal and fails immediately.
+//
+// The jitter stream is deterministic per Seed (xorshift64*), so tests
+// drive the schedule through the Sleep seam and two ingesters seeded
+// differently do not thunder in lockstep.
+type ReloadClient struct {
+	// Addr is the daemon address: "host:port" or a full http:// URL.
+	Addr string
+	// HTTP is the client to use; nil means a default client with a
+	// 10s per-request timeout.
+	HTTP *http.Client
+	// Attempts bounds the tries (default 5).
+	Attempts int
+	// Base is the first backoff (default 100ms), doubling up to Max
+	// (default 5s); each delay is jittered into [d/2, d].
+	Base time.Duration
+	Max  time.Duration
+	// Seed selects the jitter stream; 0 uses a fixed default stream.
+	Seed uint64
+	// Sleep is the clock seam; nil means time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry, when set, observes each scheduled retry: the 1-based
+	// attempt that failed, why, and the chosen backoff.
+	OnRetry func(attempt int, cause string, backoff time.Duration)
+}
+
+// Reload posts /-/reload until the daemon accepts, returning the new
+// snapshot generation. Exhausted retries return the last refusal.
+func (c *ReloadClient) Reload(ctx context.Context) (uint64, error) {
+	url := c.Addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/-/reload"
+
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 10 * time.Second}
+	}
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base := c.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.Max
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	x := c.Seed
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		gen, retryable, err := c.post(ctx, httpc, url)
+		if err == nil {
+			return gen, nil
+		}
+		lastErr = err
+		if !retryable || a == attempts {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		d := base << (a - 1)
+		if d <= 0 || d > maxd {
+			d = maxd
+		}
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		j := x * 0x2545f4914f6cdd1d
+		d = d/2 + time.Duration(j%uint64(d/2+1))
+		if c.OnRetry != nil {
+			c.OnRetry(a, err.Error(), d)
+		}
+		sleep(d)
+	}
+	return 0, fmt.Errorf("serve: reload %s: %w", c.Addr, lastErr)
+}
+
+// post performs one reload attempt. retryable reports whether the
+// failure is one the backoff loop should outwait.
+func (c *ReloadClient) post(ctx context.Context, httpc *http.Client, url string) (gen uint64, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return 0, true, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out struct {
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			return 0, false, fmt.Errorf("reload response: %w", err)
+		}
+		return out.Generation, false, nil
+	case http.StatusConflict, http.StatusServiceUnavailable:
+		return 0, true, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	default:
+		return 0, false, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}

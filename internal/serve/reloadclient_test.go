@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reloadScript serves a canned status sequence, then 200s with a
+// generation counter.
+func reloadScript(t *testing.T, statuses ...int) (*httptest.Server, *int) {
+	t.Helper()
+	calls := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/-/reload" {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+		}
+		i := *calls
+		*calls++
+		if i < len(statuses) {
+			http.Error(w, "scripted refusal", statuses[i])
+			return
+		}
+		fmt.Fprintf(w, `{"generation": %d}`, *calls)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, calls
+}
+
+// TestReloadClientRetries: 409 and 503 are outwaited with jittered
+// exponential backoff through the fake clock, and the eventual 200's
+// generation comes back.
+func TestReloadClientRetries(t *testing.T) {
+	srv, calls := reloadScript(t, http.StatusConflict, http.StatusServiceUnavailable)
+	var sleeps []time.Duration
+	c := &ReloadClient{
+		Addr:  srv.URL,
+		Base:  100 * time.Millisecond,
+		Max:   time.Second,
+		Seed:  7,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	gen, err := c.Reload(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || *calls != 3 {
+		t.Fatalf("generation=%d calls=%d", gen, *calls)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v", sleeps)
+	}
+	for i, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		if sleeps[i] < want/2 || sleeps[i] > want {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, sleeps[i], want/2, want)
+		}
+	}
+}
+
+// TestReloadClientExhaustion: a daemon that refuses forever fails
+// after Attempts tries with the final refusal in the error.
+func TestReloadClientExhaustion(t *testing.T) {
+	srv, calls := reloadScript(t,
+		http.StatusConflict, http.StatusConflict, http.StatusConflict, http.StatusConflict)
+	retries := 0
+	c := &ReloadClient{
+		Addr:     strings.TrimPrefix(srv.URL, "http://"), // bare host:port form
+		Attempts: 3,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(int, string, time.Duration) { retries++ },
+	}
+	_, err := c.Reload(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "status 409") {
+		t.Fatalf("Reload = %v", err)
+	}
+	if *calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d", *calls, retries)
+	}
+}
+
+// TestReloadClientHardRefusal: statuses outside {409, 503} are real
+// refusals — no retry, immediate error.
+func TestReloadClientHardRefusal(t *testing.T) {
+	srv, calls := reloadScript(t, http.StatusBadRequest)
+	c := &ReloadClient{
+		Addr:  srv.URL,
+		Sleep: func(time.Duration) { t.Error("hard refusal must not sleep") },
+	}
+	_, err := c.Reload(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "status 400") {
+		t.Fatalf("Reload = %v", err)
+	}
+	if *calls != 1 {
+		t.Fatalf("calls = %d", *calls)
+	}
+}
+
+// TestReloadClientTransportRetry: connection failures retry like 503s
+// (the daemon may simply not be up yet).
+func TestReloadClientTransportRetry(t *testing.T) {
+	srv, _ := reloadScript(t)
+	srv.Close() // nothing listening: every attempt is a transport error
+	c := &ReloadClient{
+		Addr:     srv.URL,
+		Attempts: 2,
+		Sleep:    func(time.Duration) {},
+	}
+	start := time.Now()
+	_, err := c.Reload(context.Background())
+	if err == nil {
+		t.Fatal("reload against a closed listener succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retries slept on the real clock: %v", elapsed)
+	}
+}
